@@ -1,0 +1,213 @@
+package rqp
+
+// The benchmark harness: one testing.B benchmark per reproduced figure,
+// table or proposed benchmark of the Dagstuhl report (E1–E18; see DESIGN.md
+// for the index), plus engine micro-benchmarks. Experiment benchmarks run
+// the full workload once per iteration at a reduced scale and report the
+// experiment's headline numbers as custom metrics, so `go test -bench .`
+// regenerates every result with both wall-clock and simulated-cost views.
+
+import (
+	"testing"
+
+	"rqp/internal/adaptive"
+	"rqp/internal/catalog"
+	"rqp/internal/exec"
+	"rqp/internal/experiments"
+	"rqp/internal/opt"
+	"rqp/internal/plan"
+	"rqp/internal/sql"
+	"rqp/internal/types"
+	"rqp/internal/workload"
+)
+
+const benchScale = 0.25
+
+func benchExperiment(b *testing.B, id string) {
+	run := experiments.Registry()[id]
+	if run == nil {
+		b.Fatalf("experiment %s missing", id)
+	}
+	var last map[string]float64
+	for i := 0; i < b.N; i++ {
+		rep, err := run(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep.KV
+	}
+	for k, v := range last {
+		b.ReportMetric(v, k)
+	}
+}
+
+// Figures 1–3: POP customer-workload reproduction.
+func BenchmarkE1POPAggregate(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2POPSpeedups(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkE3POPScatter(b *testing.B)   { benchExperiment(b, "E3") }
+
+// Breakout-session metrics and benchmarks.
+func BenchmarkE4RiskMetrics(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Smoothness(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6CardErrGeomean(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7Equivalence(b *testing.B)    { benchExperiment(b, "E7") }
+func BenchmarkE8TractorPull(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9Extrinsic(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkE10FMT(b *testing.B)           { benchExperiment(b, "E10") }
+func BenchmarkE11FPT(b *testing.B)           { benchExperiment(b, "E11") }
+func BenchmarkE12AdvisorRobust(b *testing.B) { benchExperiment(b, "E12") }
+func BenchmarkE13Cracking(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14TPCCH(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkE15BlackHat(b *testing.B)      { benchExperiment(b, "E15") }
+func BenchmarkE16GJoin(b *testing.B)         { benchExperiment(b, "E16") }
+func BenchmarkE17Eddy(b *testing.B)          { benchExperiment(b, "E17") }
+func BenchmarkE18Rio(b *testing.B)           { benchExperiment(b, "E18") }
+
+// Extensions (reading-list techniques + the Section-1 anecdote).
+func BenchmarkE19SelfTuningHistogram(b *testing.B) { benchExperiment(b, "E19") }
+func BenchmarkE20SharedScans(b *testing.B)         { benchExperiment(b, "E20") }
+func BenchmarkE21AutomaticDisaster(b *testing.B)   { benchExperiment(b, "E21") }
+func BenchmarkE22UtilityInterference(b *testing.B) { benchExperiment(b, "E22") }
+
+// ---------- engine micro-benchmarks ----------
+
+func benchCatalog(b *testing.B) *catalog.Catalog {
+	b.Helper()
+	cat, err := workload.BuildTPCH(workload.TPCHConfig{Scale: 0.5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	q := workload.TPCHQueries()["Q5"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sql.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBindAndOptimizeQ5(b *testing.B) {
+	cat := benchCatalog(b)
+	o := opt.New(cat)
+	st, err := sql.Parse(workload.TPCHQueries()["Q5"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := o.Optimize(bq, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteQ1(b *testing.B) {
+	cat := benchCatalog(b)
+	o := opt.New(cat)
+	st, _ := sql.Parse(workload.TPCHQueries()["Q1"])
+	bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := o.Optimize(bq, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext()
+		if _, err := exec.Run(root, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinExecution(b *testing.B) {
+	cat := catalog.New()
+	l, _ := cat.CreateTable("l", types.Schema{{Name: "k", Kind: types.KindInt}})
+	r, _ := cat.CreateTable("r", types.Schema{{Name: "k", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}})
+	for i := 0; i < 20000; i++ {
+		cat.Insert(nil, l, types.Row{types.Int(int64(i % 2000))})
+	}
+	for i := 0; i < 2000; i++ {
+		cat.Insert(nil, r, types.Row{types.Int(int64(i)), types.Int(int64(i * 2))})
+	}
+	cat.AnalyzeTable(l, 16)
+	cat.AnalyzeTable(r, 16)
+	o := opt.New(cat)
+	st, _ := sql.Parse("SELECT COUNT(*) FROM l, r WHERE l.k = r.k")
+	bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := o.Optimize(bq, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(root, exec.NewContext()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertWithIndex(b *testing.B) {
+	cat := catalog.New()
+	t, _ := cat.CreateTable("t", types.Schema{{Name: "id", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}})
+	if _, err := cat.CreateIndex(nil, "t", "t_id", []string{"id"}, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.Insert(nil, t, types.Row{types.Int(int64(i)), types.Int(int64(i % 97))})
+	}
+}
+
+func BenchmarkProgressiveVsStatic(b *testing.B) {
+	// Head-to-head of the two execution policies on a trapped query — the
+	// ablation behind Figures 1–3, as a single measurable pair.
+	cfg := workload.DefaultStar()
+	cfg.FactRows = 10000
+	cat, err := workload.BuildStar(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := `SELECT dim1.cat, COUNT(*) FROM fact, dim1
+		WHERE fact.d1 = dim1.id AND fact.attr = 37 AND fact.pseudo = 111
+		GROUP BY dim1.cat`
+	for _, cfg := range []struct {
+		name   string
+		policy adaptive.ReoptPolicy
+	}{
+		{"static", adaptive.Static},
+		{"pop", adaptive.Checked},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				st, _ := sql.Parse(query)
+				bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := &adaptive.Progressive{Opt: opt.New(cat), Policy: cfg.policy, ReoptCharge: 5}
+				ctx := exec.NewContext()
+				if _, err := p.Execute(bq, ctx); err != nil {
+					b.Fatal(err)
+				}
+				cost = ctx.Clock.Units()
+			}
+			b.ReportMetric(cost, "cost_units")
+		})
+	}
+}

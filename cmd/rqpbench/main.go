@@ -1,0 +1,63 @@
+// Command rqpbench regenerates the Dagstuhl report's figures, tables and
+// proposed benchmarks on the rqp engine.
+//
+// Usage:
+//
+//	rqpbench                 # run everything at full scale
+//	rqpbench -e E1,E5,E13    # run selected experiments
+//	rqpbench -scale 0.25     # shrink workloads for a quick pass
+//	rqpbench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rqp/internal/experiments"
+)
+
+func main() {
+	var (
+		exps  = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		scale = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := experiments.IDs()
+	if *exps != "" {
+		ids = strings.Split(*exps, ",")
+	}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		rep, err := run(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s wall time: %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

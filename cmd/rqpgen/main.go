@@ -1,0 +1,85 @@
+// Command rqpgen generates the lite benchmark databases and prints their
+// contents as SQL (CREATE TABLE + INSERT) so they can be loaded elsewhere
+// or inspected.
+//
+// Usage:
+//
+//	rqpgen -db tpch -scale 0.5 > tpch.sql
+//	rqpgen -db star
+//	rqpgen -db tpcc -summary
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rqp/internal/catalog"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+	"rqp/internal/workload"
+)
+
+func main() {
+	var (
+		db      = flag.String("db", "tpch", "database to generate: tpch | star | tpcc")
+		scale   = flag.Float64("scale", 1.0, "scale factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+		summary = flag.Bool("summary", false, "print table summaries instead of SQL")
+	)
+	flag.Parse()
+
+	var cat *catalog.Catalog
+	var err error
+	switch *db {
+	case "tpch":
+		cat, err = workload.BuildTPCH(workload.TPCHConfig{Scale: *scale, Seed: *seed})
+	case "star":
+		cfg := workload.DefaultStar()
+		cfg.Seed = *seed
+		cat, err = workload.BuildStar(cfg)
+	case "tpcc":
+		var tp *workload.TPCC
+		cfg := workload.DefaultTPCC()
+		cfg.Seed = *seed
+		tp, err = workload.BuildTPCC(cfg)
+		if tp != nil {
+			cat = tp.Cat
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown database %q\n", *db)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, t := range cat.Tables() {
+		if *summary {
+			fmt.Fprintf(w, "%-16s %8d rows %6d pages\n", t.Name, t.Heap.NumRows(), t.Heap.NumPages())
+			continue
+		}
+		cols := make([]string, len(t.Schema))
+		for i, c := range t.Schema {
+			cols[i] = c.Name + " " + strings.ToLower(c.Kind.String())
+		}
+		fmt.Fprintf(w, "CREATE TABLE %s (%s);\n", t.Name, strings.Join(cols, ", "))
+		t.Heap.Scan(nil, func(_ storage.RID, r types.Row) bool {
+			vals := make([]string, len(r))
+			for i, v := range r {
+				if v.K == types.KindDate {
+					vals[i] = fmt.Sprintf("DATE(%d)", v.I)
+				} else {
+					vals[i] = v.String()
+				}
+			}
+			fmt.Fprintf(w, "INSERT INTO %s VALUES (%s);\n", t.Name, strings.Join(vals, ", "))
+			return true
+		})
+	}
+}

@@ -1,0 +1,134 @@
+// Command rqpsh is a minimal interactive shell over the rqp engine: type
+// SQL, see rows; EXPLAIN shows plans with estimates. Flags select the
+// robustness configuration so plan changes across policies can be compared
+// interactively.
+//
+// Usage:
+//
+//	rqpsh                        # empty database, classic policy
+//	rqpsh -db tpch -scale 0.5    # preloaded TPC-H-lite
+//	rqpsh -policy pop -leo       # POP execution with LEO feedback
+//	echo "SELECT 1 FROM r" | rqpsh -db tpch
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rqp/internal/core"
+	"rqp/internal/opt"
+	"rqp/internal/workload"
+)
+
+func main() {
+	var (
+		db     = flag.String("db", "", "preload a workload database: tpch | star | (empty)")
+		scale  = flag.Float64("scale", 0.5, "workload scale for -db")
+		policy = flag.String("policy", "classic", "execution policy: classic | pop | pop-eager | rio")
+		mode   = flag.String("estimate", "expected", "estimation mode: expected | percentile | correlated")
+		leo    = flag.Bool("leo", false, "enable LEO execution feedback")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *policy {
+	case "classic":
+		cfg.Policy = core.PolicyClassic
+	case "pop":
+		cfg.Policy = core.PolicyPOP
+	case "pop-eager":
+		cfg.Policy = core.PolicyPOPEager
+	case "rio":
+		cfg.Policy = core.PolicyRio
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	switch *mode {
+	case "expected":
+		cfg.EstimateMode = opt.Expected
+	case "percentile":
+		cfg.EstimateMode = opt.Percentile
+	case "correlated":
+		cfg.EstimateMode = opt.Correlated
+	default:
+		fmt.Fprintf(os.Stderr, "unknown estimation mode %q\n", *mode)
+		os.Exit(2)
+	}
+	cfg.LEO = *leo
+
+	var eng *core.Engine
+	switch *db {
+	case "":
+		eng = core.Open(cfg)
+	case "tpch":
+		cat, err := workload.BuildTPCH(workload.TPCHConfig{Scale: *scale, Seed: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng = core.Attach(cat, cfg)
+	case "star":
+		sc := workload.DefaultStar()
+		cat, err := workload.BuildStar(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng = core.Attach(cat, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown database %q\n", *db)
+		os.Exit(2)
+	}
+
+	fmt.Printf("rqp shell (policy=%s, estimate=%s, leo=%v). End statements with ';'. \\q quits.\n",
+		*policy, *mode, *leo)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("rqp> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "\\q" || trimmed == "quit" || trimmed == "exit" {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			continue
+		}
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if stmt == "" || stmt == ";" {
+			prompt()
+			continue
+		}
+		res, err := eng.Exec(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			prompt()
+			continue
+		}
+		if res.Plan != "" && len(res.Rows) == 0 {
+			fmt.Print(res.Plan)
+		}
+		if len(res.Columns) > 0 && len(res.Rows) > 0 {
+			fmt.Println(strings.Join(res.Columns, " | "))
+		}
+		for _, row := range res.Rows {
+			fmt.Println(row)
+		}
+		if res.Affected > 0 {
+			fmt.Printf("%d row(s) affected\n", res.Affected)
+		}
+		if res.Cost > 0 {
+			fmt.Printf("-- cost %.2f units, %d reopt(s)\n", res.Cost, res.Reopts)
+		}
+		prompt()
+	}
+}

@@ -1,0 +1,11 @@
+// Package rqp is a from-scratch relational query-processing engine built to
+// reproduce the Dagstuhl seminar 10381 report "Robust Query Processing"
+// (Graefe, Kuno, König, Markl, Sattler — 2011): a SQL front end, a
+// statistics subsystem with feedback and maximum-entropy estimation, a
+// cost-based optimizer with robust estimation modes and plan diagrams, a
+// Volcano execution engine with adaptive operators, progressive (POP) and
+// proactive (Rio) re-optimization, adaptive indexing, workload management,
+// an index advisor, and a harness regenerating every robustness metric and
+// benchmark the report proposes. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package rqp

@@ -1,0 +1,57 @@
+// Quickstart: open an engine, create a schema, load rows, query, EXPLAIN,
+// and switch on a robustness policy — the five-minute tour of the public
+// API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rqp/internal/core"
+	"rqp/internal/types"
+)
+
+func main() {
+	eng := core.Open(core.DefaultConfig())
+
+	must := func(q string, params ...types.Value) *core.Result {
+		r, err := eng.Exec(q, params...)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		return r
+	}
+
+	// DDL + DML.
+	must("CREATE TABLE city (id int, country varchar, pop float)")
+	must("INSERT INTO city VALUES (1, 'de', 3.7), (2, 'de', 1.8), (3, 'fr', 2.1), (4, 'us', 8.4), (5, 'us', 3.9)")
+	must("CREATE INDEX city_country ON city (country)")
+	must("ANALYZE city")
+
+	// Query with parameters.
+	res := must("SELECT country, COUNT(*), SUM(pop) FROM city WHERE pop >= ? GROUP BY country ORDER BY country",
+		types.Float(2.0))
+	fmt.Println("countries with cities over 2M:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s: %s cities, %.1fM total\n", row[0].S, row[1], row[2].AsFloat())
+	}
+
+	// EXPLAIN shows the chosen plan with estimates.
+	plan, err := eng.Explain("SELECT id FROM city WHERE country = 'de'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan for the lookup:")
+	fmt.Print(plan)
+
+	// The same engine under a robust policy: POP progressive re-optimization.
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.PolicyPOP
+	pop := core.Attach(eng.Cat, cfg)
+	r2, err := pop.Exec("SELECT COUNT(*) FROM city WHERE pop > 1 AND pop < 9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nunder POP policy: count=%s (cost %.2f units, %d re-optimizations)\n",
+		r2.Rows[0][0], r2.Cost, r2.Reopts)
+}

@@ -1,0 +1,3 @@
+module rqp
+
+go 1.22

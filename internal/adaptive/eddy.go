@@ -1,0 +1,179 @@
+package adaptive
+
+import (
+	"math/rand"
+
+	"rqp/internal/exec"
+	"rqp/internal/expr"
+	"rqp/internal/types"
+)
+
+// Eddy adaptively orders a conjunction of filter predicates per tuple
+// (Avnur & Hellerstein). Each predicate holds lottery tickets; tickets are
+// won by dropping tuples (high observed selectivity) and decay over a
+// sliding window, so the routing order tracks drifting data. The
+// deterministic alternative (ranked mode) re-sorts predicates by observed
+// pass rate every window — the A-Greedy flavour.
+type Eddy struct {
+	Filters []expr.Expr
+	// Lottery selects ticket-based probabilistic routing; otherwise
+	// predicates are ranked deterministically by observed pass rate.
+	Lottery bool
+	// Window is the number of tuples between re-ranking decisions.
+	Window int
+	// Seed drives the lottery; fixed for reproducibility.
+	Seed int64
+}
+
+// EddyStats reports adaptation behaviour.
+type EddyStats struct {
+	Evaluations int // total predicate evaluations performed
+	Kept        int
+	Reorders    int
+}
+
+// Run filters rows adaptively and returns survivors. Every predicate
+// evaluation charges one row-CPU unit on the context clock, so eddy routing
+// quality shows up directly in measured cost.
+func (e *Eddy) Run(rows []types.Row, ctx *exec.Context) ([]types.Row, EddyStats, error) {
+	n := len(e.Filters)
+	stats := EddyStats{}
+	if n == 0 {
+		stats.Kept = len(rows)
+		return rows, stats, nil
+	}
+	window := e.Window
+	if window <= 0 {
+		window = 64
+	}
+	rng := rand.New(rand.NewSource(e.Seed + 1))
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	evals := make([]float64, n)
+	drops := make([]float64, n)
+
+	var kept []types.Row
+	sinceRank := 0
+	for _, row := range rows {
+		if e.Lottery {
+			// Route through predicates drawn by ticket count (drops+1).
+			remaining := append([]int(nil), order...)
+			alive := true
+			for len(remaining) > 0 && alive {
+				total := 0.0
+				for _, f := range remaining {
+					total += drops[f] + 1
+				}
+				pick := rng.Float64() * total
+				idx := 0
+				for i, f := range remaining {
+					pick -= drops[f] + 1
+					if pick <= 0 {
+						idx = i
+						break
+					}
+				}
+				f := remaining[idx]
+				remaining = append(remaining[:idx], remaining[idx+1:]...)
+				pass, err := evalFilter(e.Filters[f], row, ctx, &stats)
+				if err != nil {
+					return nil, stats, err
+				}
+				evals[f]++
+				if !pass {
+					drops[f]++
+					alive = false
+				}
+			}
+			if alive {
+				kept = append(kept, row)
+				stats.Kept++
+			}
+		} else {
+			alive := true
+			for _, f := range order {
+				pass, err := evalFilter(e.Filters[f], row, ctx, &stats)
+				if err != nil {
+					return nil, stats, err
+				}
+				evals[f]++
+				if !pass {
+					drops[f]++
+					alive = false
+					break
+				}
+			}
+			if alive {
+				kept = append(kept, row)
+				stats.Kept++
+			}
+		}
+		sinceRank++
+		if sinceRank >= window {
+			sinceRank = 0
+			if e.rerank(order, evals, drops) {
+				stats.Reorders++
+			}
+			// Age the statistics so the eddy tracks drift.
+			for i := range evals {
+				evals[i] /= 2
+				drops[i] /= 2
+			}
+		}
+	}
+	return kept, stats, nil
+}
+
+// rerank sorts predicates by descending observed drop rate; returns whether
+// the order changed.
+func (e *Eddy) rerank(order []int, evals, drops []float64) bool {
+	rate := func(f int) float64 {
+		if evals[f] == 0 {
+			return 0
+		}
+		return drops[f] / evals[f]
+	}
+	changed := false
+	// insertion sort (stable, n tiny)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && rate(order[j]) > rate(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+			changed = true
+		}
+	}
+	return changed
+}
+
+func evalFilter(f expr.Expr, row types.Row, ctx *exec.Context, stats *EddyStats) (bool, error) {
+	ctx.Clock.RowWork(1)
+	stats.Evaluations++
+	return expr.EvalPredicate(f, row, ctx.Params)
+}
+
+// StaticFilter is the non-adaptive baseline: evaluate the predicates in the
+// given fixed order for every tuple.
+func StaticFilter(filters []expr.Expr, rows []types.Row, ctx *exec.Context) ([]types.Row, EddyStats, error) {
+	stats := EddyStats{}
+	var kept []types.Row
+	for _, row := range rows {
+		alive := true
+		for _, f := range filters {
+			pass, err := evalFilter(f, row, ctx, &stats)
+			if err != nil {
+				return nil, stats, err
+			}
+			if !pass {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			kept = append(kept, row)
+			stats.Kept++
+		}
+	}
+	return kept, stats, nil
+}

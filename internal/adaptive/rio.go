@@ -1,0 +1,143 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"rqp/internal/expr"
+	"rqp/internal/opt"
+	"rqp/internal/plan"
+	"rqp/internal/types"
+)
+
+// Rio implements proactive re-optimization (Babu, Bizarro & DeWitt):
+// instead of trusting point estimates, it draws a bounding box around each
+// base-relation cardinality (low/estimate/high corners), checks whether one
+// plan is optimal across the whole box, and otherwise picks the plan with
+// the least worst-case regret over the corners — preferring robust plans up
+// front rather than repairing mistakes mid-flight.
+type Rio struct {
+	Opt *opt.Optimizer
+	// UncertaintyFactor f scales cardinalities to [card/f, card*f] corners.
+	// Exactly-known relations (temps) are not scaled.
+	UncertaintyFactor float64
+	// MaxPlans caps the per-corner enumeration.
+	MaxPlans int
+}
+
+// RioChoice reports the decision.
+type RioChoice struct {
+	Robust    bool    // one plan optimal at every corner
+	Sig       string  // chosen plan signature
+	MaxRegret float64 // worst-case cost ratio vs the corner-optimal plan
+}
+
+// ChooseCore selects a join-core plan for the given relations under
+// bounding-box uncertainty and returns the chosen core with its output
+// column order.
+func (r *Rio) ChooseCore(rels []opt.BaseRel, conjuncts []expr.Expr, params []types.Value) (plan.Node, []int, RioChoice, error) {
+	f := r.UncertaintyFactor
+	if f <= 1 {
+		f = 4
+	}
+	limit := r.MaxPlans
+	if limit <= 0 {
+		limit = 64
+	}
+	scale := func(mult float64) []opt.BaseRel {
+		out := append([]opt.BaseRel(nil), rels...)
+		for i := range out {
+			if out[i].Exact {
+				continue
+			}
+			out[i].Rows = math.Max(1, out[i].Rows*mult)
+		}
+		return out
+	}
+	corners := [][]opt.BaseRel{scale(1 / f), scale(1), scale(f)}
+
+	// Per corner: signature -> cost, plus the corner-optimal cost.
+	type cornerInfo struct {
+		costs map[string]float64
+		best  float64
+	}
+	infos := make([]cornerInfo, len(corners))
+	// Keep a representative node+cols per signature from the estimate corner.
+	repNode := map[string]plan.Node{}
+	repCols := map[string][]int{}
+	for ci, corner := range corners {
+		plans, err := r.Opt.EnumerateCorePlans(corner, conjuncts, params, limit)
+		if err != nil {
+			return nil, nil, RioChoice{}, err
+		}
+		if len(plans) == 0 {
+			return nil, nil, RioChoice{}, fmt.Errorf("adaptive: rio found no plans")
+		}
+		info := cornerInfo{costs: map[string]float64{}, best: math.Inf(1)}
+		for _, p := range plans {
+			info.costs[p.Sig] = p.Cost
+			if p.Cost < info.best {
+				info.best = p.Cost
+			}
+			if ci == 1 {
+				repNode[p.Sig] = p.Node
+				repCols[p.Sig] = p.Cols
+			}
+		}
+		infos[ci] = info
+	}
+
+	// Robust if the estimate-corner optimum is optimal at all corners.
+	estBestSig := ""
+	for sig, c := range infos[1].costs {
+		if c == infos[1].best {
+			estBestSig = sig
+			break
+		}
+	}
+	robust := true
+	for _, info := range infos {
+		if c, ok := info.costs[estBestSig]; !ok || c > info.best*1.0001 {
+			robust = false
+			break
+		}
+	}
+	if robust {
+		return repNode[estBestSig], repCols[estBestSig], RioChoice{Robust: true, Sig: estBestSig, MaxRegret: 1}, nil
+	}
+
+	// Minimax regret over plans present in the estimate corner.
+	bestSig, bestRegret := "", math.Inf(1)
+	for sig := range infos[1].costs {
+		regret := 0.0
+		feasible := true
+		for _, info := range infos {
+			c, ok := info.costs[sig]
+			if !ok {
+				feasible = false
+				break
+			}
+			if rr := c / info.best; rr > regret {
+				regret = rr
+			}
+		}
+		if feasible && regret < bestRegret {
+			bestSig, bestRegret = sig, regret
+		}
+	}
+	if bestSig == "" {
+		bestSig, bestRegret = estBestSig, math.Inf(1)
+	}
+	return repNode[bestSig], repCols[bestSig], RioChoice{Robust: false, Sig: bestSig, MaxRegret: bestRegret}, nil
+}
+
+// Choose plans a full query block with Rio's bounding-box strategy.
+func (r *Rio) Choose(q *plan.Query, params []types.Value) (plan.Node, RioChoice, error) {
+	rels := opt.BaseRelsFromQuery(q)
+	core, cols, choice, err := r.ChooseCore(rels, q.Conjuncts, params)
+	if err != nil {
+		return nil, choice, err
+	}
+	root, err := r.Opt.FinishPlan(q, core, cols)
+	return root, choice, err
+}

@@ -1,0 +1,218 @@
+// Package advisor implements a what-if index advisor plus the robustness
+// evaluation the Dagstuhl physical-design sessions propose: designs are
+// recommended greedily against a training workload, then judged by how much
+// perturbed ("same pattern, different literals") workloads degrade on the
+// frozen design, and by the generality of the chosen index set.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rqp/internal/catalog"
+	"rqp/internal/exec"
+	"rqp/internal/expr"
+	"rqp/internal/opt"
+	"rqp/internal/plan"
+	"rqp/internal/sql"
+)
+
+// Candidate is one index the advisor may build.
+type Candidate struct {
+	Table string
+	Cols  []string
+}
+
+// Key identifies the candidate.
+func (c Candidate) Key() string { return c.Table + "(" + strings.Join(c.Cols, ",") + ")" }
+
+// Advisor recommends indexes for a workload.
+type Advisor struct {
+	Cat *catalog.Catalog
+	Opt *opt.Optimizer
+}
+
+// New returns an advisor over the catalog with a fresh optimizer.
+func New(cat *catalog.Catalog) *Advisor {
+	return &Advisor{Cat: cat, Opt: opt.New(cat)}
+}
+
+// Candidates extracts single-column index candidates from the workload's
+// filter and join predicates.
+func (a *Advisor) Candidates(queries []string) ([]Candidate, error) {
+	seen := map[string]Candidate{}
+	for _, q := range queries {
+		st, err := sql.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: %w", err)
+		}
+		sel, ok := st.(*sql.SelectStmt)
+		if !ok {
+			continue
+		}
+		bq, err := plan.Bind(sel, a.Cat)
+		if err != nil {
+			return nil, err
+		}
+		addCol := func(col int) {
+			ri := bq.RelIndexForColumn(col)
+			if ri < 0 {
+				return
+			}
+			rel := bq.Rels[ri]
+			name := rel.Table.Schema[col-rel.Offset].Name
+			c := Candidate{Table: rel.Table.Name, Cols: []string{name}}
+			seen[c.Key()] = c
+		}
+		for _, conj := range bq.Conjuncts {
+			if iv, ok := expr.ExtractInterval(conj, nil); ok {
+				addCol(iv.Col)
+				continue
+			}
+			if b, ok := conj.(*expr.Bin); ok && b.Op == expr.OpEQ {
+				if lc, ok := b.L.(*expr.Col); ok {
+					addCol(lc.Index)
+				}
+				if rc, ok := b.R.(*expr.Col); ok {
+					addCol(rc.Index)
+				}
+			}
+		}
+	}
+	out := make([]Candidate, 0, len(seen))
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// EstimatedWorkloadCost sums the optimizer's estimated cost over the
+// workload under the current physical design.
+func (a *Advisor) EstimatedWorkloadCost(queries []string) (float64, error) {
+	total := 0.0
+	for _, q := range queries {
+		st, err := sql.Parse(q)
+		if err != nil {
+			return 0, err
+		}
+		sel, ok := st.(*sql.SelectStmt)
+		if !ok {
+			continue
+		}
+		bq, err := plan.Bind(sel, a.Cat)
+		if err != nil {
+			return 0, err
+		}
+		root, err := a.Opt.Optimize(bq, nil)
+		if err != nil {
+			return 0, err
+		}
+		total += root.Props().EstCost
+	}
+	return total, nil
+}
+
+// MeasuredWorkloadCost executes the workload and returns total simulated
+// cost units.
+func (a *Advisor) MeasuredWorkloadCost(queries []string) (float64, error) {
+	total := 0.0
+	for _, q := range queries {
+		st, err := sql.Parse(q)
+		if err != nil {
+			return 0, err
+		}
+		sel, ok := st.(*sql.SelectStmt)
+		if !ok {
+			continue
+		}
+		bq, err := plan.Bind(sel, a.Cat)
+		if err != nil {
+			return 0, err
+		}
+		root, err := a.Opt.Optimize(bq, nil)
+		if err != nil {
+			return 0, err
+		}
+		ctx := exec.NewContext()
+		if _, err := exec.Run(root, ctx); err != nil {
+			return 0, err
+		}
+		total += ctx.Clock.Units()
+	}
+	return total, nil
+}
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	Chosen     []Candidate
+	CostBefore float64
+	CostAfter  float64
+}
+
+// Recommend greedily selects up to k candidate indexes: in each round the
+// candidate with the largest estimated workload-cost reduction is kept
+// (built for real — the engine is small enough that hypothetical indexes
+// are unnecessary); candidates that do not improve cost are rejected.
+func (a *Advisor) Recommend(queries []string, k int) (*Recommendation, error) {
+	cands, err := a.Candidates(queries)
+	if err != nil {
+		return nil, err
+	}
+	base, err := a.EstimatedWorkloadCost(queries)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recommendation{CostBefore: base}
+	cur := base
+	remaining := append([]Candidate(nil), cands...)
+	for round := 0; round < k && len(remaining) > 0; round++ {
+		bestIdx := -1
+		bestCost := cur
+		for i, c := range remaining {
+			name := advisorIndexName(c, len(rec.Chosen), i)
+			if _, err := a.Cat.CreateIndex(nil, c.Table, name, c.Cols, false); err != nil {
+				continue
+			}
+			cost, err := a.EstimatedWorkloadCost(queries)
+			a.Cat.DropIndex(c.Table, name)
+			if err != nil {
+				return nil, err
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		chosen := remaining[bestIdx]
+		name := fmt.Sprintf("adv_%s_%s", chosen.Table, strings.Join(chosen.Cols, "_"))
+		if _, err := a.Cat.CreateIndex(nil, chosen.Table, name, chosen.Cols, false); err != nil {
+			return nil, err
+		}
+		rec.Chosen = append(rec.Chosen, chosen)
+		cur = bestCost
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	rec.CostAfter = cur
+	return rec, nil
+}
+
+func advisorIndexName(c Candidate, round, i int) string {
+	return fmt.Sprintf("whatif_%s_%d_%d", c.Table, round, i)
+}
+
+// Generality is Gebaly & Aboulnaga's metric: the number of distinct index
+// prefixes in the design (more prefixes serve more future workloads).
+func Generality(rec *Recommendation) int {
+	prefixes := map[string]bool{}
+	for _, c := range rec.Chosen {
+		for i := 1; i <= len(c.Cols); i++ {
+			prefixes[c.Table+"("+strings.Join(c.Cols[:i], ",")+")"] = true
+		}
+	}
+	return len(prefixes)
+}

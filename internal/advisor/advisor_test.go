@@ -1,0 +1,119 @@
+package advisor
+
+import (
+	"testing"
+
+	"rqp/internal/catalog"
+	"rqp/internal/robustness"
+	"rqp/internal/types"
+)
+
+func advisorDB(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	big, err := cat.CreateTable("big", types.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "k", Kind: types.KindInt},
+		{Name: "v", Kind: types.KindInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8000; i++ {
+		cat.Insert(nil, big, types.Row{
+			types.Int(int64(i)), types.Int(int64(i % 500)), types.Int(int64(i % 37)),
+		})
+	}
+	cat.AnalyzeTable(big, 24)
+	return cat
+}
+
+func TestCandidatesExtraction(t *testing.T) {
+	cat := advisorDB(t)
+	a := New(cat)
+	cands, err := a.Candidates([]string{
+		"SELECT v FROM big WHERE id = 7",
+		"SELECT v FROM big WHERE k >= 10 AND k <= 20",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, c := range cands {
+		keys[c.Key()] = true
+	}
+	if !keys["big(id)"] || !keys["big(k)"] {
+		t.Errorf("candidates missing: %v", cands)
+	}
+}
+
+func TestRecommendBuildsUsefulIndex(t *testing.T) {
+	cat := advisorDB(t)
+	a := New(cat)
+	workload := []string{
+		"SELECT v FROM big WHERE id = 7",
+		"SELECT v FROM big WHERE id = 9",
+		"SELECT v FROM big WHERE id = 100",
+	}
+	rec, err := a.Recommend(workload, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Chosen) == 0 {
+		t.Fatal("advisor should recommend the id index")
+	}
+	if rec.CostAfter >= rec.CostBefore {
+		t.Errorf("cost should drop: before=%v after=%v", rec.CostBefore, rec.CostAfter)
+	}
+	big, _ := cat.Table("big")
+	if big.IndexNamed("adv_big_id") == nil {
+		t.Error("recommended index not built")
+	}
+	if Generality(rec) != len(rec.Chosen) {
+		t.Errorf("generality of single-col indexes should equal count")
+	}
+}
+
+func TestAdvisorRobustnessEvaluation(t *testing.T) {
+	cat := advisorDB(t)
+	a := New(cat)
+	training := []string{"SELECT v FROM big WHERE id = 7"}
+	if _, err := a.Recommend(training, 1); err != nil {
+		t.Fatal(err)
+	}
+	t0, err := a.MeasuredWorkloadCost(training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturbed workloads: same pattern (still served) and a pattern shift
+	// (range on a different column — the index does not help).
+	sameShape, err := a.MeasuredWorkloadCost([]string{"SELECT v FROM big WHERE id = 4242"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := a.MeasuredWorkloadCost([]string{"SELECT COUNT(*) FROM big WHERE v = 5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSame := robustness.AdvisorRobustness(t0, []float64{sameShape})
+	rShift := robustness.AdvisorRobustness(t0, []float64{shifted})
+	if rSame > 0.5 {
+		t.Errorf("same-pattern workload should stay close to T0: %v", rSame)
+	}
+	if rShift <= rSame {
+		t.Errorf("pattern shift should degrade more: same=%v shift=%v", rSame, rShift)
+	}
+}
+
+func TestRecommendRejectsUselessIndexes(t *testing.T) {
+	cat := advisorDB(t)
+	a := New(cat)
+	// Full scans benefit from no index; the advisor must decline to build.
+	rec, err := a.Recommend([]string{"SELECT COUNT(*) FROM big WHERE v + 1 > 0"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Chosen) != 0 {
+		t.Errorf("advisor built useless indexes: %v", rec.Chosen)
+	}
+}

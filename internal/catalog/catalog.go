@@ -1,0 +1,294 @@
+// Package catalog maintains the database schema: tables, columns, indexes
+// and their statistics. It ties the storage, index and stats substrates
+// together for the optimizer and executor.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rqp/internal/index"
+	"rqp/internal/stats"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// Index describes one secondary index over a table.
+type Index struct {
+	Name    string
+	Cols    []int // column positions, leading first
+	Unique  bool
+	Tree    *index.BTree
+	Dropped bool
+}
+
+// ColNames returns the index column names given the owning table.
+func (ix *Index) ColNames(t *Table) []string {
+	out := make([]string, len(ix.Cols))
+	for i, c := range ix.Cols {
+		out[i] = t.Schema[c].Name
+	}
+	return out
+}
+
+// Table is one base relation.
+type Table struct {
+	Name    string
+	Schema  types.Schema
+	Heap    *storage.Heap
+	Indexes []*Index
+	Stats   *stats.TableStats
+	// modCount counts row modifications since the last ANALYZE; automatic
+	// statistics maintenance triggers on it.
+	modCount int64
+}
+
+// ModCount returns modifications since the last ANALYZE.
+func (t *Table) ModCount() int64 { return atomic.LoadInt64(&t.modCount) }
+
+func (t *Table) bumpMods() { atomic.AddInt64(&t.modCount, 1) }
+
+// ColIndex resolves a column by name within the table.
+func (t *Table) ColIndex(name string) int {
+	return t.Schema.ColIndex("", name)
+}
+
+// IndexOn returns the first live index whose leading column is col.
+func (t *Table) IndexOn(col int) *Index {
+	for _, ix := range t.Indexes {
+		if !ix.Dropped && len(ix.Cols) > 0 && ix.Cols[0] == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// IndexNamed returns the index with the given name, or nil.
+func (t *Table) IndexNamed(name string) *Index {
+	for _, ix := range t.Indexes {
+		if strings.EqualFold(ix.Name, name) && !ix.Dropped {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Catalog is the schema registry.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*Table{}}
+}
+
+// CreateTable registers a new table with the given schema.
+func (c *Catalog) CreateTable(name string, schema types.Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	qualified := schema.WithTable(name)
+	t := &Table{
+		Name:   name,
+		Schema: qualified,
+		Heap:   storage.NewHeap(),
+		Stats:  stats.NewTableStats(len(schema)),
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateIndex builds a B+ tree over the named columns of the table and
+// registers it. The build reads every row (charged to clk if non-nil).
+func (c *Catalog) CreateIndex(clk *storage.Clock, tableName, indexName string, colNames []string, unique bool) (*Index, error) {
+	t, ok := c.Table(tableName)
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", tableName)
+	}
+	if t.IndexNamed(indexName) != nil {
+		return nil, fmt.Errorf("catalog: index %q already exists on %q", indexName, tableName)
+	}
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		ci := t.ColIndex(cn)
+		if ci < 0 {
+			return nil, fmt.Errorf("catalog: column %q not in table %q", cn, tableName)
+		}
+		cols[i] = ci
+	}
+	ix := &Index{Name: indexName, Cols: cols, Unique: unique, Tree: index.New(len(cols))}
+	t.Heap.Scan(clk, func(rid storage.RID, r types.Row) bool {
+		ix.Tree.Insert(extractKey(r, cols), rid)
+		return true
+	})
+	c.mu.Lock()
+	t.Indexes = append(t.Indexes, ix)
+	c.mu.Unlock()
+	return ix, nil
+}
+
+// DropIndex marks an index dropped.
+func (c *Catalog) DropIndex(tableName, indexName string) error {
+	t, ok := c.Table(tableName)
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", tableName)
+	}
+	ix := t.IndexNamed(indexName)
+	if ix == nil {
+		return fmt.Errorf("catalog: index %q does not exist on %q", indexName, tableName)
+	}
+	ix.Dropped = true
+	return nil
+}
+
+func extractKey(r types.Row, cols []int) []types.Value {
+	key := make([]types.Value, len(cols))
+	for i, c := range cols {
+		key[i] = r[c]
+	}
+	return key
+}
+
+// Insert adds a row to the table, maintaining all indexes.
+func (c *Catalog) Insert(clk *storage.Clock, t *Table, r types.Row) storage.RID {
+	t.bumpMods()
+	rid := t.Heap.Insert(clk, r)
+	for _, ix := range t.Indexes {
+		if ix.Dropped {
+			continue
+		}
+		ix.Tree.Insert(extractKey(r, ix.Cols), rid)
+	}
+	return rid
+}
+
+// Delete removes a row by RID, maintaining indexes.
+func (c *Catalog) Delete(clk *storage.Clock, t *Table, rid storage.RID) bool {
+	r, ok := t.Heap.Get(nil, rid)
+	if !ok {
+		return false
+	}
+	if !t.Heap.Delete(clk, rid) {
+		return false
+	}
+	t.bumpMods()
+	for _, ix := range t.Indexes {
+		if ix.Dropped {
+			continue
+		}
+		ix.Tree.Delete(extractKey(r, ix.Cols), rid)
+	}
+	return true
+}
+
+// Update replaces the row at rid, maintaining indexes whose key columns
+// changed.
+func (c *Catalog) Update(clk *storage.Clock, t *Table, rid storage.RID, newRow types.Row) bool {
+	old, ok := t.Heap.Get(nil, rid)
+	if !ok {
+		return false
+	}
+	if !t.Heap.Update(clk, rid, newRow) {
+		return false
+	}
+	t.bumpMods()
+	for _, ix := range t.Indexes {
+		if ix.Dropped {
+			continue
+		}
+		oldKey := extractKey(old, ix.Cols)
+		newKey := extractKey(newRow, ix.Cols)
+		same := true
+		for i := range oldKey {
+			if types.Compare(oldKey[i], newKey[i]) != 0 {
+				same = false
+				break
+			}
+		}
+		if same {
+			continue
+		}
+		ix.Tree.Delete(oldKey, rid)
+		ix.Tree.Insert(newKey, rid)
+	}
+	return true
+}
+
+// AnalyzeTable recomputes statistics for a table by scanning it.
+func (c *Catalog) AnalyzeTable(t *Table, buckets int) {
+	var rows []types.Row
+	t.Heap.Scan(nil, func(_ storage.RID, r types.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	kinds := make([]types.Kind, len(t.Schema))
+	for i, col := range t.Schema {
+		kinds[i] = col.Kind
+	}
+	ts := stats.Analyze(len(rows), len(t.Schema), kinds, func(r, col int) types.Value {
+		return rows[r][col]
+	}, buckets)
+	c.mu.Lock()
+	t.Stats = ts
+	c.mu.Unlock()
+	atomic.StoreInt64(&t.modCount, 0)
+}
+
+// AnalyzeGroup computes joint-NDV correlation statistics for a column group.
+func (c *Catalog) AnalyzeGroup(t *Table, colNames []string) error {
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		ci := t.ColIndex(cn)
+		if ci < 0 {
+			return fmt.Errorf("catalog: column %q not in table %q", cn, t.Name)
+		}
+		cols[i] = ci
+	}
+	var rows []types.Row
+	t.Heap.Scan(nil, func(_ storage.RID, r types.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	t.Stats.AnalyzeGroup(cols, len(rows), func(r, col int) types.Value { return rows[r][col] })
+	return nil
+}

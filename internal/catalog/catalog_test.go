@@ -1,0 +1,177 @@
+package catalog
+
+import (
+	"testing"
+
+	"rqp/internal/index"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+func testSchema() types.Schema {
+	return types.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "grp", Kind: types.KindInt},
+		{Name: "name", Kind: types.KindString},
+	}
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	c := New()
+	tb, err := c.CreateTable("t", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema[0].Table != "t" {
+		t.Error("schema should be qualified by table name")
+	}
+	if _, err := c.CreateTable("T", testSchema()); err == nil {
+		t.Error("duplicate create (case-insensitive) should fail")
+	}
+	got, ok := c.Table("T")
+	if !ok || got != tb {
+		t.Error("case-insensitive lookup failed")
+	}
+	if len(c.Tables()) != 1 {
+		t.Error("Tables() wrong")
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("t"); ok {
+		t.Error("dropped table still visible")
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("dropping missing table should fail")
+	}
+}
+
+func loadRows(c *Catalog, tb *Table, n int) {
+	for i := 0; i < n; i++ {
+		c.Insert(nil, tb, types.Row{
+			types.Int(int64(i)),
+			types.Int(int64(i % 10)),
+			types.Str("row"),
+		})
+	}
+}
+
+func TestInsertMaintainsIndexes(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", testSchema())
+	loadRows(c, tb, 50)
+	ix, err := c.CreateIndex(nil, "t", "t_grp", []string{"grp"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != 50 {
+		t.Fatalf("index built with %d entries", ix.Tree.Len())
+	}
+	// Inserts after index creation must be reflected.
+	c.Insert(nil, tb, types.Row{types.Int(100), types.Int(3), types.Str("new")})
+	n := 0
+	ix.Tree.Lookup(nil, []types.Value{types.Int(3)}, func(index.Entry) bool { n++; return true })
+	if n != 6 { // 5 original (3,13,23,33,43) + 1 new
+		t.Errorf("lookup grp=3 found %d, want 6", n)
+	}
+}
+
+func TestDeleteMaintainsIndexes(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", testSchema())
+	var rids []storage.RID
+	for i := 0; i < 20; i++ {
+		rids = append(rids, c.Insert(nil, tb, types.Row{types.Int(int64(i)), types.Int(int64(i % 2)), types.Str("x")}))
+	}
+	ix, _ := c.CreateIndex(nil, "t", "t_id", []string{"id"}, true)
+	if !c.Delete(nil, tb, rids[5]) {
+		t.Fatal("delete failed")
+	}
+	if c.Delete(nil, tb, rids[5]) {
+		t.Error("double delete should fail")
+	}
+	n := 0
+	ix.Tree.Lookup(nil, []types.Value{types.Int(5)}, func(index.Entry) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("deleted row still indexed")
+	}
+	if tb.Heap.NumRows() != 19 {
+		t.Errorf("heap rows = %d", tb.Heap.NumRows())
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	c := New()
+	if _, err := c.CreateIndex(nil, "missing", "i", []string{"x"}, false); err == nil {
+		t.Error("index on missing table should fail")
+	}
+	tb, _ := c.CreateTable("t", testSchema())
+	_ = tb
+	if _, err := c.CreateIndex(nil, "t", "i", []string{"nope"}, false); err == nil {
+		t.Error("index on missing column should fail")
+	}
+	if _, err := c.CreateIndex(nil, "t", "i", []string{"id"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex(nil, "t", "i", []string{"grp"}, false); err == nil {
+		t.Error("duplicate index name should fail")
+	}
+}
+
+func TestDropIndex(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", testSchema())
+	c.CreateIndex(nil, "t", "i", []string{"id"}, false)
+	if err := c.DropIndex("t", "i"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IndexNamed("i") != nil {
+		t.Error("dropped index still resolvable")
+	}
+	if tb.IndexOn(0) != nil {
+		t.Error("IndexOn should skip dropped indexes")
+	}
+	if err := c.DropIndex("t", "i"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestAnalyzeTable(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", testSchema())
+	loadRows(c, tb, 100)
+	c.AnalyzeTable(tb, 8)
+	if tb.Stats.RowCount != 100 {
+		t.Errorf("RowCount = %v", tb.Stats.RowCount)
+	}
+	cs := tb.Stats.ColStats(1)
+	if cs == nil || cs.NDV != 10 {
+		t.Errorf("grp NDV = %+v", cs)
+	}
+	if err := c.AnalyzeGroup(tb, []string{"id", "grp"}); err != nil {
+		t.Fatal(err)
+	}
+	ndv, ok := tb.Stats.GroupNDV([]int{0, 1})
+	if !ok || ndv != 100 {
+		t.Errorf("group NDV = %v %v", ndv, ok)
+	}
+	if err := c.AnalyzeGroup(tb, []string{"nope"}); err == nil {
+		t.Error("group on missing column should fail")
+	}
+}
+
+func TestIndexOnLeadingColumn(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", testSchema())
+	c.CreateIndex(nil, "t", "multi", []string{"grp", "id"}, false)
+	if ix := tb.IndexOn(1); ix == nil || ix.Name != "multi" {
+		t.Error("IndexOn should match leading column")
+	}
+	if tb.IndexOn(0) != nil {
+		t.Error("IndexOn should not match non-leading column")
+	}
+	names := tb.Indexes[0].ColNames(tb)
+	if names[0] != "grp" || names[1] != "id" {
+		t.Errorf("ColNames wrong: %v", names)
+	}
+}

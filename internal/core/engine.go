@@ -1,0 +1,551 @@
+// Package core provides the public engine facade: open a database, run DDL
+// and DML, execute queries under a selectable robustness configuration
+// (classic, robust estimation, POP progressive re-optimization, Rio
+// bounding boxes), EXPLAIN plans and collect execution feedback.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"rqp/internal/adaptive"
+	"rqp/internal/catalog"
+	"rqp/internal/exec"
+	"rqp/internal/expr"
+	"rqp/internal/opt"
+	"rqp/internal/plan"
+	"rqp/internal/sql"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// ExecPolicy selects the execution strategy for SELECTs.
+type ExecPolicy uint8
+
+// Execution policies.
+const (
+	PolicyClassic  ExecPolicy = iota // optimize once, run the plan
+	PolicyPOP                        // progressive re-optimization (checked)
+	PolicyPOPEager                   // re-optimize at every materialization
+	PolicyRio                        // bounding-box robust plan choice
+)
+
+// String names the policy.
+func (p ExecPolicy) String() string {
+	switch p {
+	case PolicyClassic:
+		return "classic"
+	case PolicyPOP:
+		return "pop"
+	case PolicyPOPEager:
+		return "pop-eager"
+	case PolicyRio:
+		return "rio"
+	}
+	return "?"
+}
+
+// Config tunes the engine.
+type Config struct {
+	Policy        ExecPolicy
+	EstimateMode  opt.EstimateMode
+	PercentileP   float64
+	LEO           bool // learn from every execution
+	MemBudgetRows int
+	HistBuckets   int
+	GJoinOnly     bool
+	// AutoAnalyze refreshes a table's statistics (and invalidates cached
+	// plans) before a query when modifications since the last ANALYZE
+	// exceed AutoAnalyzeFraction of the analyzed row count — the automatic
+	// maintenance whose side effects the report's opening anecdote warns
+	// about (and experiment E21 reproduces).
+	AutoAnalyze         bool
+	AutoAnalyzeFraction float64
+}
+
+// DefaultConfig is the classic configuration.
+func DefaultConfig() Config {
+	return Config{
+		Policy:        PolicyClassic,
+		EstimateMode:  opt.Expected,
+		PercentileP:   0.9,
+		MemBudgetRows: 1 << 16,
+		HistBuckets:   24,
+	}
+}
+
+// Engine is one database instance.
+type Engine struct {
+	Cat   *catalog.Catalog
+	Opt   *opt.Optimizer
+	Clock *storage.Clock
+	Cfg   Config
+	// Cache, when non-nil, serves classic-policy SELECTs from the plan
+	// cache (see PlanCache). DDL and ANALYZE invalidate it.
+	Cache *PlanCache
+}
+
+// Open creates an empty engine.
+func Open(cfg Config) *Engine {
+	cat := catalog.New()
+	return Attach(cat, cfg)
+}
+
+// Attach wraps an existing catalog (e.g. a pre-built workload database).
+func Attach(cat *catalog.Catalog, cfg Config) *Engine {
+	o := opt.New(cat)
+	o.Opt.Mode = cfg.EstimateMode
+	if cfg.PercentileP > 0 {
+		o.Opt.PercentileP = cfg.PercentileP
+	}
+	if cfg.MemBudgetRows > 0 {
+		o.Opt.MemBudgetRows = cfg.MemBudgetRows
+	}
+	o.Opt.UseFeedback = cfg.LEO
+	o.Opt.GJoinOnly = cfg.GJoinOnly
+	return &Engine{
+		Cat:   cat,
+		Opt:   o,
+		Clock: storage.NewClock(storage.DefaultCostModel()),
+		Cfg:   cfg,
+	}
+}
+
+// Result is a statement's outcome.
+type Result struct {
+	Columns  []string
+	Rows     []types.Row
+	Affected int
+	Plan     string  // EXPLAIN text when requested
+	Cost     float64 // simulated cost units consumed
+	Reopts   int     // POP re-optimizations performed
+}
+
+// Exec parses and executes one statement.
+func (e *Engine) Exec(query string, params ...types.Value) (*Result, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(st, query, params, false)
+}
+
+// Explain returns the plan for a SELECT without executing it.
+func (e *Engine) Explain(query string, params ...types.Value) (string, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		if ex, isEx := st.(*sql.ExplainStmt); isEx {
+			if s2, ok2 := ex.Inner.(*sql.SelectStmt); ok2 {
+				sel = s2
+			} else {
+				return "", fmt.Errorf("core: EXPLAIN supports SELECT only")
+			}
+		} else {
+			return "", fmt.Errorf("core: EXPLAIN supports SELECT only")
+		}
+	}
+	bq, err := plan.Bind(sel, e.Cat)
+	if err != nil {
+		return "", err
+	}
+	root, err := e.Opt.Optimize(bq, params)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(root), nil
+}
+
+func (e *Engine) execStmt(st sql.Stmt, text string, params []types.Value, explainOnly bool) (*Result, error) {
+	switch s := st.(type) {
+	case *sql.ExplainStmt:
+		return e.execStmt(s.Inner, "", params, true)
+	case *sql.SelectStmt:
+		return e.runSelect(s, text, params, explainOnly)
+	case *sql.CreateTableStmt:
+		e.invalidatePlans()
+		return e.execCreateTable(s)
+	case *sql.CreateIndexStmt:
+		e.invalidatePlans()
+		if _, err := e.Cat.CreateIndex(e.Clock, s.Table, s.Name, s.Cols, s.Unique); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.DropTableStmt:
+		e.invalidatePlans()
+		if err := e.Cat.DropTable(s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.DropIndexStmt:
+		e.invalidatePlans()
+		if err := e.Cat.DropIndex(s.Table, s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.AnalyzeStmt:
+		e.invalidatePlans()
+		t, ok := e.Cat.Table(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown table %q", s.Table)
+		}
+		e.Cat.AnalyzeTable(t, e.Cfg.HistBuckets)
+		return &Result{}, nil
+	case *sql.InsertStmt:
+		return e.execInsert(s, params)
+	case *sql.DeleteStmt:
+		return e.execDelete(s, params)
+	case *sql.UpdateStmt:
+		return e.execUpdate(s, params)
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", st)
+}
+
+// maybeAutoAnalyze refreshes stale statistics for the tables a SELECT
+// references, when automatic maintenance is enabled.
+func (e *Engine) maybeAutoAnalyze(s *sql.SelectStmt) {
+	if !e.Cfg.AutoAnalyze {
+		return
+	}
+	frac := e.Cfg.AutoAnalyzeFraction
+	if frac <= 0 {
+		frac = 0.2
+	}
+	names := make([]string, 0, len(s.From)+len(s.Joins))
+	for _, tr := range s.From {
+		names = append(names, tr.Name)
+	}
+	for _, jc := range s.Joins {
+		names = append(names, jc.Table.Name)
+	}
+	for _, name := range names {
+		t, ok := e.Cat.Table(name)
+		if !ok {
+			continue
+		}
+		base := t.Stats.RowCount
+		if base < 50 {
+			base = 50
+		}
+		if float64(t.ModCount()) > frac*base {
+			e.Cat.AnalyzeTable(t, e.Cfg.HistBuckets)
+			e.invalidatePlans()
+		}
+	}
+}
+
+// invalidatePlans drops cached plans after DDL or statistics changes.
+func (e *Engine) invalidatePlans() {
+	if e.Cache != nil {
+		e.Cache.Invalidate()
+	}
+}
+
+func (e *Engine) execCreateTable(s *sql.CreateTableStmt) (*Result, error) {
+	schema := make(types.Schema, len(s.Cols))
+	for i, c := range s.Cols {
+		k, ok := types.KindFromName(c.Type)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown type %q for column %q", c.Type, c.Name)
+		}
+		schema[i] = types.Column{Name: c.Name, Kind: k}
+	}
+	if _, err := e.Cat.CreateTable(s.Table, schema); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) runSelect(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool) (*Result, error) {
+	return e.runSelectDepth(s, text, params, explainOnly, 0)
+}
+
+func (e *Engine) runSelectDepth(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, depth int) (*Result, error) {
+	expanded, err := e.expandSubqueries(s, params, depth)
+	if err != nil {
+		return nil, err
+	}
+	if expanded {
+		// A frozen subquery result must never be served from the plan cache.
+		text = ""
+	}
+	e.maybeAutoAnalyze(s)
+	bq, err := plan.Bind(s, e.Cat)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext()
+	ctx.Params = params
+	if e.Cfg.MemBudgetRows > 0 {
+		ctx.Mem = exec.NewMemBroker(e.Cfg.MemBudgetRows)
+	}
+	if e.Cfg.LEO {
+		adaptive.AttachLEO(ctx, e.Opt.Feedback)
+	}
+	res := &Result{Columns: bq.ProjNames}
+
+	switch e.Cfg.Policy {
+	case PolicyPOP, PolicyPOPEager:
+		if explainOnly {
+			// Progressive execution has no single static plan; EXPLAIN
+			// shows the initial compile-time plan without executing.
+			root, err := e.Opt.Optimize(bq, params)
+			if err != nil {
+				return nil, err
+			}
+			res.Plan = plan.Explain(root)
+			return res, nil
+		}
+		policy := adaptive.Checked
+		if e.Cfg.Policy == PolicyPOPEager {
+			policy = adaptive.Eager
+		}
+		prog := &adaptive.Progressive{Opt: e.Opt, Policy: policy, ReoptCharge: 2}
+		pres, err := prog.Execute(bq, ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = pres.Rows
+		res.Reopts = pres.Reopts
+	case PolicyRio:
+		rio := &adaptive.Rio{Opt: e.Opt, UncertaintyFactor: 4}
+		root, _, err := rio.Choose(bq, params)
+		if err != nil {
+			return nil, err
+		}
+		if explainOnly {
+			res.Plan = plan.Explain(root)
+			return res, nil
+		}
+		rows, err := exec.Run(root, ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
+		res.Plan = plan.ExplainActual(root)
+	default:
+		var root plan.Node
+		if e.Cache != nil && text != "" {
+			cachedRoot, _, _, err := e.Cache.Plan(e, text, params)
+			if err != nil {
+				return nil, err
+			}
+			root = cachedRoot
+		} else {
+			var err error
+			root, err = e.Opt.Optimize(bq, params)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if explainOnly {
+			res.Plan = plan.Explain(root)
+			return res, nil
+		}
+		rows, err := exec.Run(root, ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
+		res.Plan = plan.ExplainActual(root)
+	}
+	res.Cost = ctx.Clock.Units()
+	e.Clock.RowWork(int(res.Cost * 100)) // fold into the engine-lifetime clock
+	return res, nil
+}
+
+func (e *Engine) execInsert(s *sql.InsertStmt, params []types.Value) (*Result, error) {
+	t, ok := e.Cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", s.Table)
+	}
+	colIdx := make([]int, 0, len(s.Cols))
+	if len(s.Cols) == 0 {
+		for i := range t.Schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, cn := range s.Cols {
+			ci := t.ColIndex(cn)
+			if ci < 0 {
+				return nil, fmt.Errorf("core: unknown column %q", cn)
+			}
+			colIdx = append(colIdx, ci)
+		}
+	}
+	b := &binderShim{}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(colIdx) {
+			return nil, fmt.Errorf("core: INSERT row has %d values for %d columns", len(exprRow), len(colIdx))
+		}
+		row := make(types.Row, len(t.Schema))
+		for i := range row {
+			row[i] = types.Null()
+		}
+		for i, ast := range exprRow {
+			bound, err := b.bind(ast)
+			if err != nil {
+				return nil, err
+			}
+			v, err := bound.Eval(nil, params)
+			if err != nil {
+				return nil, err
+			}
+			row[colIdx[i]] = coerce(v, t.Schema[colIdx[i]].Kind)
+		}
+		e.Cat.Insert(e.Clock, t, row)
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (e *Engine) execDelete(s *sql.DeleteStmt, params []types.Value) (*Result, error) {
+	t, ok := e.Cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", s.Table)
+	}
+	pred, err := e.bindRowPredicate(s.Where, t)
+	if err != nil {
+		return nil, err
+	}
+	var victims []storage.RID
+	t.Heap.Scan(e.Clock, func(rid storage.RID, r types.Row) bool {
+		if pred != nil {
+			ok, err2 := expr.EvalPredicate(pred, r, params)
+			if err2 != nil {
+				err = err2
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		victims = append(victims, rid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rid := range victims {
+		e.Cat.Delete(e.Clock, t, rid)
+	}
+	return &Result{Affected: len(victims)}, nil
+}
+
+func (e *Engine) execUpdate(s *sql.UpdateStmt, params []types.Value) (*Result, error) {
+	t, ok := e.Cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", s.Table)
+	}
+	pred, err := e.bindRowPredicate(s.Where, t)
+	if err != nil {
+		return nil, err
+	}
+	b := &binderShim{}
+	type setter struct {
+		col int
+		e   expr.Expr
+	}
+	var setters []setter
+	for _, cn := range s.Order {
+		ci := t.ColIndex(cn)
+		if ci < 0 {
+			return nil, fmt.Errorf("core: unknown column %q", cn)
+		}
+		bound, err := b.bindWithSchema(s.Set[cn], t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		setters = append(setters, setter{col: ci, e: bound})
+	}
+	type change struct {
+		rid storage.RID
+		row types.Row
+	}
+	var changes []change
+	t.Heap.Scan(e.Clock, func(rid storage.RID, r types.Row) bool {
+		if pred != nil {
+			ok, err2 := expr.EvalPredicate(pred, r, params)
+			if err2 != nil {
+				err = err2
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		nr := r.Clone()
+		for _, st := range setters {
+			v, err2 := st.e.Eval(r, params)
+			if err2 != nil {
+				err = err2
+				return false
+			}
+			nr[st.col] = coerce(v, t.Schema[st.col].Kind)
+		}
+		changes = append(changes, change{rid: rid, row: nr})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range changes {
+		e.Cat.Update(e.Clock, t, c.rid, c.row)
+	}
+	return &Result{Affected: len(changes)}, nil
+}
+
+func (e *Engine) bindRowPredicate(w sql.Expr, t *catalog.Table) (expr.Expr, error) {
+	if w == nil {
+		return nil, nil
+	}
+	b := &binderShim{}
+	return b.bindWithSchema(w, t.Schema)
+}
+
+// binderShim reuses the plan binder for standalone expressions.
+type binderShim struct{}
+
+func (b *binderShim) bind(e sql.Expr) (expr.Expr, error) {
+	return b.bindWithSchema(e, nil)
+}
+
+func (b *binderShim) bindWithSchema(e sql.Expr, schema types.Schema) (expr.Expr, error) {
+	return plan.BindExpr(e, schema)
+}
+
+// coerce aligns a literal with the target column kind (ints into float or
+// date columns, etc.).
+func coerce(v types.Value, k types.Kind) types.Value {
+	if v.IsNull() || v.K == k {
+		return v
+	}
+	switch k {
+	case types.KindFloat:
+		if v.Numeric() {
+			return types.Float(v.AsFloat())
+		}
+	case types.KindInt:
+		if v.Numeric() {
+			return types.Int(v.AsInt())
+		}
+	case types.KindDate:
+		if v.Numeric() {
+			return types.Date(v.AsInt())
+		}
+	}
+	return v
+}
+
+// MustExec is Exec that panics on error — for examples and tests.
+func (e *Engine) MustExec(query string, params ...types.Value) *Result {
+	r, err := e.Exec(query, params...)
+	if err != nil {
+		panic(fmt.Sprintf("rqp: %v (query: %s)", err, strings.TrimSpace(query)))
+	}
+	return r
+}

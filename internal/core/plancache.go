@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"rqp/internal/plan"
+	"rqp/internal/sql"
+	"rqp/internal/types"
+)
+
+// PlanCache implements the plan-management techniques of the report's
+// system-context sessions: compiled plans for literal (parameter-free)
+// queries are cached and reused; every RevalidateEvery-th execution the
+// plan is re-optimized against current statistics and physical design, and
+// a change of plan structure is recorded — the plan-change history that
+// plan-stability monitoring ("optimizer plan change management") is built
+// on. Parameterized queries are always re-optimized: their index bounds
+// bake parameter values, so blind reuse would be exactly the
+// literals-vs-parameters fragility the equivalence sessions warn about.
+type PlanCache struct {
+	mu sync.Mutex
+	// RevalidateEvery n-th execution re-optimizes a cached plan (0 = never
+	// revalidate: fully persistent plans).
+	RevalidateEvery int
+
+	entries map[string]*cacheEntry
+	stats   PlanCacheStats
+}
+
+type cacheEntry struct {
+	query *plan.Query
+	root  plan.Node
+	sig   string
+	execs int
+}
+
+// PlanCacheStats reports cache behaviour.
+type PlanCacheStats struct {
+	Hits          int
+	Misses        int
+	Uncacheable   int // parameterized statements
+	Revalidations int
+	PlanChanges   int
+}
+
+// NewPlanCache returns a cache revalidating every n-th execution.
+func NewPlanCache(revalidateEvery int) *PlanCache {
+	return &PlanCache{RevalidateEvery: revalidateEvery, entries: map[string]*cacheEntry{}}
+}
+
+// Stats returns a snapshot.
+func (pc *PlanCache) Stats() PlanCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.stats
+}
+
+// Len returns the number of cached plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}
+
+func normalizeText(q string) string {
+	return strings.Join(strings.Fields(strings.ToLower(q)), " ")
+}
+
+// Plan returns an executable plan for the SELECT text, consulting the
+// cache. The boolean reports whether the plan came from the cache.
+func (pc *PlanCache) Plan(e *Engine, query string, params []types.Value) (plan.Node, *plan.Query, bool, error) {
+	compile := func() (plan.Node, *plan.Query, error) {
+		st, err := sql.Parse(query)
+		if err != nil {
+			return nil, nil, err
+		}
+		sel, ok := st.(*sql.SelectStmt)
+		if !ok {
+			return nil, nil, errNotSelect
+		}
+		bq, err := plan.Bind(sel, e.Cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		root, err := e.Opt.Optimize(bq, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		return root, bq, nil
+	}
+
+	key := normalizeText(query)
+	pc.mu.Lock()
+	entry, hit := pc.entries[key]
+	pc.mu.Unlock()
+
+	if hit {
+		entry.execs++
+		if entry.query.NumParams > 0 {
+			// Defensive: parameterized plans never land in the cache, but a
+			// racing insert is still recompiled rather than reused.
+			pc.bump(func(s *PlanCacheStats) { s.Uncacheable++ })
+			root, bq, err := compile()
+			return root, bq, false, err
+		}
+		if pc.RevalidateEvery > 0 && entry.execs%pc.RevalidateEvery == 0 {
+			root, bq, err := compile()
+			if err != nil {
+				return nil, nil, false, err
+			}
+			sig := plan.PlanSignature(root)
+			pc.bump(func(s *PlanCacheStats) {
+				s.Revalidations++
+				if sig != entry.sig {
+					s.PlanChanges++
+				}
+			})
+			pc.mu.Lock()
+			pc.entries[key] = &cacheEntry{query: bq, root: root, sig: sig, execs: entry.execs}
+			pc.mu.Unlock()
+			return root, bq, false, nil
+		}
+		pc.bump(func(s *PlanCacheStats) { s.Hits++ })
+		return entry.root, entry.query, true, nil
+	}
+
+	root, bq, err := compile()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if bq.NumParams > 0 {
+		pc.bump(func(s *PlanCacheStats) { s.Uncacheable++ })
+		return root, bq, false, nil
+	}
+	pc.bump(func(s *PlanCacheStats) { s.Misses++ })
+	pc.mu.Lock()
+	pc.entries[key] = &cacheEntry{query: bq, root: root, sig: plan.PlanSignature(root), execs: 1}
+	pc.mu.Unlock()
+	return root, bq, false, nil
+}
+
+func (pc *PlanCache) bump(f func(*PlanCacheStats)) {
+	pc.mu.Lock()
+	f(&pc.stats)
+	pc.mu.Unlock()
+}
+
+// Invalidate drops all cached plans (DDL and ANALYZE call this).
+func (pc *PlanCache) Invalidate() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.entries = map[string]*cacheEntry{}
+}
+
+type notSelectError struct{}
+
+func (notSelectError) Error() string { return "core: plan cache handles SELECT only" }
+
+var errNotSelect = notSelectError{}

@@ -1,0 +1,285 @@
+// Package exec implements the Volcano-style iterator execution engine: one
+// operator per physical plan node, per-operator actual-cardinality
+// accounting (the raw input of every robustness metric), a memory broker
+// with grow-and-shrink semantics for sorts and hash joins, and the adaptive
+// operators (symmetric hash join, generalized join) the Dagstuhl report's
+// query-execution sessions discuss.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"rqp/internal/plan"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// Context carries everything operators need at run time.
+type Context struct {
+	Clock  *storage.Clock
+	Params []types.Value
+	Mem    *MemBroker
+	// OnActual, if set, is invoked for every node when its operator
+	// finishes, with the observed output cardinality (LEO feedback hook).
+	OnActual func(node plan.Node, actual float64)
+}
+
+// NewContext returns a context over a fresh clock and an effectively
+// unlimited memory budget.
+func NewContext() *Context {
+	return &Context{
+		Clock: storage.NewClock(storage.DefaultCostModel()),
+		Mem:   NewMemBroker(1 << 30),
+	}
+}
+
+// MemBroker arbitrates workspace memory (counted in rows) among operators.
+// Budgets may shrink or grow while queries run; operators re-check their
+// grant at phase boundaries, which is exactly the "grow & shrink memory"
+// robustness technique from the report's execution sessions.
+type MemBroker struct {
+	mu     sync.Mutex
+	budget int
+	inUse  int
+}
+
+// NewMemBroker returns a broker with the given total budget in rows.
+func NewMemBroker(budgetRows int) *MemBroker {
+	return &MemBroker{budget: budgetRows}
+}
+
+// SetBudget changes the total budget (may drop below current use; future
+// grants shrink accordingly).
+func (m *MemBroker) SetBudget(rows int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = rows
+}
+
+// Budget returns the current total budget.
+func (m *MemBroker) Budget() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budget
+}
+
+// Grant requests up to want rows of workspace; the broker returns what it
+// can give (at least min(want, 16) so operators always make progress).
+func (m *MemBroker) Grant(want int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	avail := m.budget - m.inUse
+	g := want
+	if g > avail {
+		g = avail
+	}
+	floor := want
+	if floor > 16 {
+		floor = 16
+	}
+	if g < floor {
+		g = floor
+	}
+	m.inUse += g
+	return g
+}
+
+// Release returns a grant to the pool.
+func (m *MemBroker) Release(rows int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inUse -= rows
+	if m.inUse < 0 {
+		m.inUse = 0
+	}
+}
+
+// InUse reports granted rows.
+func (m *MemBroker) InUse() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inUse
+}
+
+// Operator is the Volcano iterator interface.
+type Operator interface {
+	Open() error
+	Next() (types.Row, bool, error)
+	Close() error
+}
+
+// counted wraps an operator to record its output cardinality into the plan
+// node's Props and fire the feedback hook.
+type counted struct {
+	op   Operator
+	node plan.Node
+	ctx  *Context
+	n    float64
+	done bool
+}
+
+func (c *counted) Open() error { return c.op.Open() }
+
+func (c *counted) Next() (types.Row, bool, error) {
+	r, ok, err := c.op.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		c.n++
+		return r, true, nil
+	}
+	c.finish()
+	return nil, false, nil
+}
+
+func (c *counted) finish() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.node.Props().ActualRows = c.n
+	if c.ctx.OnActual != nil {
+		c.ctx.OnActual(c.node, c.n)
+	}
+}
+
+func (c *counted) Close() error {
+	c.finish()
+	return c.op.Close()
+}
+
+// Build constructs the operator tree for a physical plan.
+func Build(n plan.Node, ctx *Context) (Operator, error) {
+	op, err := build(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func build(n plan.Node, ctx *Context) (Operator, error) {
+	var op Operator
+	switch node := n.(type) {
+	case *plan.ScanNode:
+		op = &seqScan{ctx: ctx, node: node}
+	case *plan.TempScanNode:
+		op = &tempScan{ctx: ctx, node: node}
+	case *plan.IndexScanNode:
+		op = &indexScan{ctx: ctx, node: node}
+	case *plan.FilterNode:
+		child, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op = &filterOp{ctx: ctx, pred: node.Pred, child: child}
+	case *plan.ProjectNode:
+		child, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op = &projectOp{ctx: ctx, exprs: node.Exprs, child: child}
+	case *plan.JoinNode:
+		l, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(node.Kids[1], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op, err = buildJoin(node, l, r, ctx)
+		if err != nil {
+			return nil, err
+		}
+	case *plan.IndexJoinNode:
+		l, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op = &indexNLJoin{ctx: ctx, node: node, left: l}
+	case *plan.SortNode:
+		child, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op = &sortOp{ctx: ctx, keys: node.Keys, child: child}
+	case *plan.AggNode:
+		child, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		if node.Alg == plan.AggStream {
+			op = &streamAgg{ctx: ctx, node: node, child: child}
+		} else {
+			op = &hashAgg{ctx: ctx, node: node, child: child}
+		}
+	case *plan.DistinctNode:
+		child, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op = &distinctOp{ctx: ctx, child: child}
+	case *plan.LimitNode:
+		child, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op = &limitOp{n: node.N, skip: node.Skip, child: child}
+	case *plan.MaterializeNode:
+		child, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op = &materializeOp{ctx: ctx, child: child}
+	case *plan.CheckNode:
+		child, err := build(node.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		op = &checkOp{node: node, child: child}
+	default:
+		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+	}
+	return &counted{op: op, node: n, ctx: ctx}, nil
+}
+
+// Run executes a plan to completion and returns all result rows. Actual
+// cardinalities are recorded on every node.
+func Run(n plan.Node, ctx *Context) ([]types.Row, error) {
+	op, err := Build(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	for {
+		r, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, r.Clone())
+	}
+	return out, op.Close()
+}
+
+// CardinalityViolation signals that a CHECK operator saw a cardinality
+// outside its validity range; the adaptive layer catches it to trigger
+// re-optimization.
+type CardinalityViolation struct {
+	Node   *plan.CheckNode
+	Actual float64
+}
+
+// Error implements error.
+func (v *CardinalityViolation) Error() string {
+	return fmt.Sprintf("exec: cardinality check failed: actual %.0f outside [%.0f, %.0f]",
+		v.Actual, v.Node.Lo, v.Node.Hi)
+}

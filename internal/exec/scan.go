@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"rqp/internal/expr"
+	"rqp/internal/index"
+	"rqp/internal/plan"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// seqScan reads a heap table in physical order, applying the pushed-down
+// filter. The heap charges one sequential read per page; each examined row
+// charges CPU.
+type seqScan struct {
+	ctx  *Context
+	node *plan.ScanNode
+	rows []types.Row
+	pos  int
+}
+
+func (s *seqScan) Open() error {
+	s.rows = s.rows[:0]
+	s.pos = 0
+	var evalErr error
+	s.node.Table.Heap.Scan(s.ctx.Clock, func(_ storage.RID, r types.Row) bool {
+		s.ctx.Clock.RowWork(1)
+		if s.node.Filter != nil {
+			ok, err := expr.EvalPredicate(s.node.Filter, r, s.ctx.Params)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		s.rows = append(s.rows, r)
+		return true
+	})
+	return evalErr
+}
+
+func (s *seqScan) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *seqScan) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// tempScan reads a materialized intermediate, charging sequential I/O as if
+// it were paged.
+type tempScan struct {
+	ctx  *Context
+	node *plan.TempScanNode
+	pos  int
+}
+
+func (s *tempScan) Open() error {
+	s.pos = 0
+	pages := (len(s.node.Rows) + storage.PageRows - 1) / storage.PageRows
+	s.ctx.Clock.SeqRead(pages)
+	return nil
+}
+
+func (s *tempScan) Next() (types.Row, bool, error) {
+	for s.pos < len(s.node.Rows) {
+		r := s.node.Rows[s.pos]
+		s.pos++
+		s.ctx.Clock.RowWork(1)
+		if s.node.Filter != nil {
+			ok, err := expr.EvalPredicate(s.node.Filter, r, s.ctx.Params)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return r, true, nil
+	}
+	return nil, false, nil
+}
+
+func (s *tempScan) Close() error { return nil }
+
+// indexScan walks a B+ tree range and fetches matching rows from the heap
+// (random I/O per match), then applies the residual predicate.
+type indexScan struct {
+	ctx  *Context
+	node *plan.IndexScanNode
+	rows []types.Row
+	pos  int
+}
+
+func (s *indexScan) Open() error {
+	s.rows = s.rows[:0]
+	s.pos = 0
+	n := s.node
+	lo := index.Bound{Key: n.LoKey, Incl: n.LoIncl, Set: n.LoSet}
+	hi := index.Bound{Key: n.HiKey, Incl: n.HiIncl, Set: n.HiSet}
+	var evalErr error
+	n.Index.Tree.Scan(s.ctx.Clock, lo, hi, func(e index.Entry) bool {
+		// NULL keys sort before every bound and would leak into scans with
+		// an open lower end, but no SQL comparison matches NULL.
+		if e.Key[0].IsNull() {
+			return true
+		}
+		r, ok := n.Table.Heap.Get(s.ctx.Clock, e.RID)
+		if !ok {
+			return true
+		}
+		s.ctx.Clock.RowWork(1)
+		if n.Residual != nil {
+			pass, err := expr.EvalPredicate(n.Residual, r, s.ctx.Params)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !pass {
+				return true
+			}
+		}
+		s.rows = append(s.rows, r)
+		return true
+	})
+	return evalErr
+}
+
+func (s *indexScan) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *indexScan) Close() error {
+	s.rows = nil
+	return nil
+}

@@ -1,0 +1,129 @@
+package exec
+
+import (
+	"testing"
+
+	"rqp/internal/catalog"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+func sharedScanTable(t *testing.T, rows int) *catalog.Table {
+	t.Helper()
+	cat := catalog.New()
+	tb, err := cat.CreateTable("s", types.Schema{{Name: "id", Kind: types.KindInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		cat.Insert(nil, tb, types.Row{types.Int(int64(i))})
+	}
+	return tb
+}
+
+func TestSharedScanAllConsumersSeeAllRows(t *testing.T) {
+	tb := sharedScanTable(t, storage.PageRows*5)
+	clk := storage.NewClock(storage.DefaultCostModel())
+	ss := NewSharedScan(clk, tb)
+	seen := make([]map[int64]int, 3)
+	for i := range seen {
+		seen[i] = map[int64]int{}
+		idx := i
+		ss.Attach(func(r types.Row) bool {
+			seen[idx][r[0].I]++
+			return true
+		})
+	}
+	ss.Run()
+	for i, m := range seen {
+		if len(m) != storage.PageRows*5 {
+			t.Fatalf("consumer %d saw %d distinct rows", i, len(m))
+		}
+		for id, n := range m {
+			if n != 1 {
+				t.Fatalf("consumer %d saw row %d %d times", i, id, n)
+			}
+		}
+	}
+}
+
+func TestSharedScanLateAttachWrapsAround(t *testing.T) {
+	tb := sharedScanTable(t, storage.PageRows*6)
+	ss := NewSharedScan(nil, tb)
+	first := map[int64]bool{}
+	ss.Attach(func(r types.Row) bool {
+		first[r[0].I] = true
+		return true
+	})
+	// Advance the sweep 2 pages, then attach a latecomer.
+	ss.Step()
+	ss.Step()
+	late := map[int64]bool{}
+	var order []int64
+	c := ss.Attach(func(r types.Row) bool {
+		late[r[0].I] = true
+		order = append(order, r[0].I)
+		return true
+	})
+	ss.Run()
+	if !c.Done() {
+		t.Fatal("late cursor not done")
+	}
+	if len(late) != storage.PageRows*6 {
+		t.Fatalf("late consumer saw %d rows", len(late))
+	}
+	// The latecomer starts at page 2, so its first row is PageRows*2.
+	if order[0] != int64(storage.PageRows*2) {
+		t.Errorf("late consumer first row = %d, want %d", order[0], storage.PageRows*2)
+	}
+	// And it ends with the wrapped prefix (last row from page 1).
+	if last := order[len(order)-1]; last != int64(storage.PageRows*2-1) {
+		t.Errorf("late consumer last row = %d, want %d", last, storage.PageRows*2-1)
+	}
+}
+
+func TestSharedScanSharesPageReads(t *testing.T) {
+	tb := sharedScanTable(t, storage.PageRows*10)
+	// Independent scans: 4 consumers × 10 pages = 40 seq reads.
+	indep := storage.NewClock(storage.DefaultCostModel())
+	for i := 0; i < 4; i++ {
+		tb.Heap.Scan(indep, func(storage.RID, types.Row) bool { return true })
+	}
+	indepReads, _, _, _ := indep.Counters()
+
+	shared := storage.NewClock(storage.DefaultCostModel())
+	ss := NewSharedScan(shared, tb)
+	for i := 0; i < 4; i++ {
+		ss.Attach(func(types.Row) bool { return true })
+	}
+	ss.Run()
+	sharedReads, _, _, _ := shared.Counters()
+	if sharedReads != 10 {
+		t.Errorf("shared scan charged %d page reads, want 10", sharedReads)
+	}
+	if indepReads != 40 {
+		t.Errorf("independent scans charged %d, want 40", indepReads)
+	}
+}
+
+func TestSharedScanEarlyStopAndEmpty(t *testing.T) {
+	tb := sharedScanTable(t, storage.PageRows*3)
+	ss := NewSharedScan(nil, tb)
+	n := 0
+	c := ss.Attach(func(types.Row) bool {
+		n++
+		return n < 5
+	})
+	ss.Run()
+	if !c.Done() || n != 5 {
+		t.Errorf("early stop wrong: done=%v n=%d", c.Done(), n)
+	}
+	// Empty table: cursor is immediately done.
+	empty := sharedScanTable(t, 0)
+	ss2 := NewSharedScan(nil, empty)
+	c2 := ss2.Attach(func(types.Row) bool { return true })
+	ss2.Run()
+	if !c2.Done() {
+		t.Error("cursor over empty table should be done")
+	}
+}

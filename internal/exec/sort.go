@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"sort"
+
+	"rqp/internal/plan"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// sortOp is an external sort: the input is consumed into runs bounded by
+// the broker's current grant; runs beyond the first spill (charging write +
+// read I/O) and are merged. Because the grant is re-read per run, a budget
+// shrink mid-sort degrades the sort gracefully instead of failing — the
+// grow-and-shrink behaviour the resource-management sessions call for.
+type sortOp struct {
+	ctx   *Context
+	keys  []plan.OrderSpec
+	child Operator
+
+	rows []types.Row
+	pos  int
+}
+
+func (s *sortOp) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	var runs [][]types.Row
+	totalGrant := 0
+	defer func() { s.ctx.Mem.Release(totalGrant) }()
+	for {
+		grant := s.ctx.Mem.Grant(1 << 20)
+		totalGrant += grant
+		run := make([]types.Row, 0, min(grant, 1024))
+		for len(run) < grant {
+			r, ok, err := s.child.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			run = append(run, r.Clone())
+		}
+		if len(run) == 0 {
+			break
+		}
+		s.sortRun(run)
+		runs = append(runs, run)
+		if len(run) < grant {
+			break
+		}
+		// This run filled its grant: it spills.
+		pages := (len(run) + storage.PageRows - 1) / storage.PageRows
+		s.ctx.Clock.Write(pages)
+		s.ctx.Clock.SeqRead(pages)
+	}
+	s.rows = s.mergeRuns(runs)
+	s.pos = 0
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (s *sortOp) less(a, b types.Row) bool {
+	for _, k := range s.keys {
+		c := types.Compare(a[k.Col], b[k.Col])
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+func (s *sortOp) sortRun(run []types.Row) {
+	n := len(run)
+	if n > 1 {
+		s.ctx.Clock.Compares(int(float64(n) * log2(float64(n))))
+	}
+	sort.SliceStable(run, func(i, j int) bool { return s.less(run[i], run[j]) })
+}
+
+func (s *sortOp) mergeRuns(runs [][]types.Row) []types.Row {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]types.Row, 0, total)
+	idx := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if idx[i] >= len(r) {
+				continue
+			}
+			if best == -1 || s.less(r[idx[i]], runs[best][idx[best]]) {
+				best = i
+			}
+			s.ctx.Clock.Compares(1)
+		}
+		out = append(out, runs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+func (s *sortOp) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sortOp) Close() error {
+	s.rows = nil
+	return s.child.Close()
+}

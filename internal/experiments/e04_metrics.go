@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rqp/internal/exec"
+	"rqp/internal/opt"
+	"rqp/internal/plan"
+	"rqp/internal/robustness"
+	"rqp/internal/sql"
+	"rqp/internal/workload"
+)
+
+// E4RiskMetrics implements the Haritsa/Nica breakout's optimizer risk
+// metrics on a correlated star query:
+//
+//	Metric1 — Σ over the chosen plan's operators of |est−actual|/actual;
+//	Metric2 — the same sum over every enumerated plan (executed by force);
+//	Metric3 — |RunTimeOpt − RunTimeBest| / RunTimeBest, where RunTimeOpt is
+//	          the best runtime among enumerated plans and RunTimeBest the
+//	          runtime of the optimizer's choice.
+func E4RiskMetrics(scale float64) (*Report, error) {
+	cfg := workload.DefaultStar()
+	cfg.FactRows = scaleInt(10000, scale)
+	cat, err := workload.BuildStar(cfg)
+	if err != nil {
+		return nil, err
+	}
+	query := `SELECT dim1.cat, COUNT(*) FROM fact, dim1, dim2
+		WHERE fact.d1 = dim1.id AND fact.d2 = dim2.id
+		AND fact.attr = 3 AND fact.pseudo = 9
+		GROUP BY dim1.cat`
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+	if err != nil {
+		return nil, err
+	}
+	o := opt.New(cat)
+
+	chosen, err := o.Optimize(bq, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext()
+	if _, err := exec.Run(chosen, ctx); err != nil {
+		return nil, err
+	}
+	chosenTime := ctx.Clock.Units()
+	m1 := robustness.Metric1(chosen)
+
+	plans, err := o.EnumerateFullPlans(bq, nil, 24)
+	if err != nil {
+		return nil, err
+	}
+	var roots []plan.Node
+	var runtimes []float64
+	for _, p := range plans {
+		pctx := exec.NewContext()
+		if _, err := exec.Run(p.Root, pctx); err != nil {
+			return nil, fmt.Errorf("E4 forced plan: %w", err)
+		}
+		roots = append(roots, p.Root)
+		runtimes = append(runtimes, pctx.Clock.Units())
+	}
+	m2 := robustness.Metric2(roots)
+	m3 := robustness.Metric3(chosenTime, runtimes)
+
+	r := newReport("E4", "optimizer risk metrics Metric1/2/3 (Nica et al.)")
+	r.Printf("query: correlated star join (attr & pseudo redundant)")
+	r.Printf("enumerated plans forced & timed: %d", len(plans))
+	r.Printf("Metric1 (chosen plan card error sum)      = %.3f", m1)
+	r.Printf("Metric2 (all enumerated plans error sum)  = %.3f", m2)
+	r.Printf("Metric3 (|RunTimeOpt-RunTimeBest|/Best)   = %.3f", m3)
+	best := runtimes[0]
+	for _, t := range runtimes {
+		if t < best {
+			best = t
+		}
+	}
+	r.Printf("chosen runtime=%.1f best enumerated=%.1f", chosenTime, best)
+	r.Set("metric1", m1)
+	r.Set("metric2", m2)
+	r.Set("metric3", m3)
+	r.Set("plans", float64(len(plans)))
+	return r, nil
+}
+
+// E6CardErrGeomean computes Sattler et al.'s C(Q): the geometric mean of
+// top-level cardinality errors over a query set (TPC-H-lite suite), for the
+// classic estimator and the feedback-enabled estimator after one warm-up
+// pass (showing how LEO moves the metric).
+func E6CardErrGeomean(scale float64) (*Report, error) {
+	cat, err := workload.BuildTPCH(workload.TPCHConfig{Scale: 0.5 * scale, Seed: 4})
+	if err != nil {
+		return nil, err
+	}
+	queries := []string{
+		"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 24",
+		"SELECT COUNT(*) FROM lineitem WHERE l_shipdate >= DATE(8400) AND l_shipdate < DATE(8800)",
+		"SELECT COUNT(*) FROM orders WHERE o_totalprice > 20000",
+		"SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'BUILDING'",
+		"SELECT COUNT(*) FROM part WHERE p_size BETWEEN 10 AND 20",
+		"SELECT COUNT(*) FROM supplier WHERE s_acctbal >= 5000",
+	}
+	o := opt.New(cat)
+	var est, act []float64
+	for _, q := range queries {
+		st, err := sql.Parse(q)
+		if err != nil {
+			return nil, err
+		}
+		bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+		if err != nil {
+			return nil, err
+		}
+		root, err := o.Optimize(bq, nil)
+		if err != nil {
+			return nil, err
+		}
+		ctx := exec.NewContext()
+		if _, err := exec.Run(root, ctx); err != nil {
+			return nil, err
+		}
+		// Top-level cardinality = the scan feeding the aggregate.
+		plan.Walk(root, func(n plan.Node) {
+			switch n.(type) {
+			case *plan.ScanNode, *plan.IndexScanNode:
+				est = append(est, n.Props().EstRows)
+				act = append(act, n.Props().ActualRows)
+			}
+		})
+	}
+	cq := robustness.CQ(est, act)
+	maxQ, geoQ := robustness.QErrorSummary(est, act)
+	r := newReport("E6", "C(Q) geometric-mean cardinality error + q-error")
+	for i := range est {
+		r.Printf("q%d est=%.0f actual=%.0f", i, est[i], act[i])
+	}
+	r.Printf("C(Q) geomean relative error = %.4f", cq)
+	r.Printf("q-error: max=%.2f geomean=%.2f", maxQ, geoQ)
+	r.Set("cq", cq)
+	r.Set("qerr_max", maxQ)
+	r.Set("qerr_geo", geoQ)
+	return r, nil
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"math"
+
+	"rqp/internal/catalog"
+	"rqp/internal/exec"
+	"rqp/internal/opt"
+	"rqp/internal/plan"
+	"rqp/internal/robustness"
+	"rqp/internal/sql"
+	"rqp/internal/types"
+)
+
+// smoothTable builds a single indexed table for the selectivity sweep.
+func smoothTable(rows int) (*catalog.Catalog, error) {
+	cat := catalog.New()
+	t, err := cat.CreateTable("sweep", types.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "x", Kind: types.KindInt},
+		{Name: "pad", Kind: types.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		cat.Insert(nil, t, types.Row{
+			types.Int(int64(i)), types.Int(int64(i % 10000)), types.Int(int64(i * 7 % 997)),
+		})
+	}
+	if _, err := cat.CreateIndex(nil, "sweep", "sweep_x", []string{"x"}, false); err != nil {
+		return nil, err
+	}
+	cat.AnalyzeTable(t, 32)
+	return cat, nil
+}
+
+// E5Smoothness implements Sattler et al.'s performance/smoothness metrics
+// over the parameterized range family q(p) = COUNT(*) WHERE x BETWEEN 0 AND
+// p, sweeping selectivity 0→1. For every point, the optimal time O(q) is
+// the better of the forced index plan and the forced scan plan; P(q) =
+// |O(q) − E(q)|. S(Q) is the coefficient of variation of P. Three systems
+// are compared: the classic optimizer, a deliberately fragile
+// index-always policy, and the robust percentile optimizer. A plan diagram
+// with anorexic reduction locates the crossover.
+func E5Smoothness(scale float64) (*Report, error) {
+	rows := scaleInt(30000, scale)
+	cat, err := smoothTable(rows)
+	if err != nil {
+		return nil, err
+	}
+	steps := 20
+	r := newReport("E5", "selectivity sweep: P(q), smoothness S(Q), plan crossover")
+
+	runWith := func(o *opt.Optimizer, param int64) (float64, error) {
+		st, _ := sql.Parse("SELECT COUNT(*) FROM sweep WHERE x >= 0 AND x <= ?")
+		bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+		if err != nil {
+			return 0, err
+		}
+		root, err := o.Optimize(bq, []types.Value{types.Int(param)})
+		if err != nil {
+			return 0, err
+		}
+		ctx := exec.NewContext()
+		ctx.Params = []types.Value{types.Int(param)}
+		if _, err := exec.Run(root, ctx); err != nil {
+			return 0, err
+		}
+		return ctx.Clock.Units(), nil
+	}
+
+	classic := opt.New(cat)
+	indexOnly := opt.New(cat) // fragile: forbid seq-scan advantage by always taking index when possible
+	robustO := opt.New(cat)
+	robustO.Opt.Mode = opt.Percentile
+	robustO.Opt.PercentileP = 0.95
+	scanOnly := opt.New(cat)
+	scanOnly.Opt.NoIndexScans = true
+
+	// Cubic spacing resolves the low-selectivity region where the
+	// index/scan crossover lives.
+	sweepPoint := func(i int) int64 {
+		f := float64(i) / float64(steps)
+		p := int64(10000 * f * f * f)
+		if p < 1 {
+			p = 1
+		}
+		return p
+	}
+	var perfClassic, perfIndex, perfRobust []float64
+	for i := 1; i <= steps; i++ {
+		p := sweepPoint(i)
+		tScanPlan, err := runWith(scanOnly, p)
+		if err != nil {
+			return nil, err
+		}
+		tClassic, err := runWith(classic, p)
+		if err != nil {
+			return nil, err
+		}
+		tRobust, err := runWith(robustO, p)
+		if err != nil {
+			return nil, err
+		}
+		tIndex, err := runWithForcedIndex(cat, indexOnly, p)
+		if err != nil {
+			return nil, err
+		}
+		optimal := math.Min(tScanPlan, tIndex)
+		perfClassic = append(perfClassic, robustness.PerfP(optimal, tClassic))
+		perfIndex = append(perfIndex, robustness.PerfP(optimal, tIndex))
+		perfRobust = append(perfRobust, robustness.PerfP(optimal, tRobust))
+		if i%5 == 0 || i == 1 {
+			r.Printf("sel=%.4f scan=%.1f index=%.1f classic=%.1f robust=%.1f",
+				float64(p)/10000, tScanPlan, tIndex, tClassic, tRobust)
+		}
+	}
+	sClassic := robustness.Smoothness(perfClassic)
+	sIndex := robustness.Smoothness(perfIndex)
+	sRobust := robustness.Smoothness(perfRobust)
+	r.Printf("S(Q) classic=%.3f index-always=%.3f robust=%.3f", sClassic, sIndex, sRobust)
+
+	// Plan diagram over the same parameter axis, plus anorexic reduction.
+	st, _ := sql.Parse("SELECT COUNT(*) FROM sweep WHERE x >= 0 AND x <= ?")
+	bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+	if err != nil {
+		return nil, err
+	}
+	var xs []types.Value
+	for i := 1; i <= steps; i++ {
+		xs = append(xs, types.Int(sweepPoint(i)))
+	}
+	diag, err := classic.BuildPlanDiagram(bq, xs, nil)
+	if err != nil {
+		return nil, err
+	}
+	reduced := diag.Reduce(0.2)
+	r.Printf("plan diagram: %d plans -> anorexic(0.2): %d plans", diag.NumPlans(), reduced.NumPlans())
+	r.Printf("diagram: %s", diag.Render())
+	r.Set("s_classic", sClassic)
+	r.Set("s_index_always", sIndex)
+	r.Set("s_robust", sRobust)
+	r.Set("diagram_plans", float64(diag.NumPlans()))
+	r.Set("anorexic_plans", float64(reduced.NumPlans()))
+	return r, nil
+}
+
+// runWithForcedIndex times the index plan regardless of the optimizer's
+// preference (the fragile policy a robust system must avoid at high
+// selectivity).
+func runWithForcedIndex(cat *catalog.Catalog, o *opt.Optimizer, p int64) (float64, error) {
+	st, _ := sql.Parse("SELECT COUNT(*) FROM sweep WHERE x >= 0 AND x <= ?")
+	bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+	if err != nil {
+		return 0, err
+	}
+	root, err := o.OptimizeForceIndex(bq, []types.Value{types.Int(p)})
+	if err != nil {
+		return 0, err
+	}
+	ctx := exec.NewContext()
+	ctx.Params = []types.Value{types.Int(p)}
+	if _, err := exec.Run(root, ctx); err != nil {
+		return 0, err
+	}
+	return ctx.Clock.Units(), nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math"
+
+	"rqp/internal/exec"
+	"rqp/internal/opt"
+	"rqp/internal/plan"
+	"rqp/internal/robustness"
+	"rqp/internal/sql"
+	"rqp/internal/workload"
+)
+
+// E9Extrinsic implements Agrawal et al.'s end-to-end robustness metric:
+// after an environment change the system pays some cost increase no matter
+// what (intrinsic variability — the ideal plan's cost also moves); the
+// system is charged only for *extrinsic* variability, the divergence of its
+// produced plan from the environment's ideal plan. The environment change
+// is a memory collapse (hash joins and sorts spill); the ideal plan per
+// environment is found by forcing every enumerated plan.
+func E9Extrinsic(scale float64) (*Report, error) {
+	cfg := workload.DefaultStar()
+	cfg.FactRows = scaleInt(12000, scale)
+	cat, err := workload.BuildStar(cfg)
+	if err != nil {
+		return nil, err
+	}
+	query := `SELECT dim1.region, COUNT(*) FROM fact, dim1
+		WHERE fact.d1 = dim1.id AND fact.attr < 40 GROUP BY dim1.region`
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+	if err != nil {
+		return nil, err
+	}
+
+	r := newReport("E9", "extrinsic variability under an environment change (memory collapse)")
+	envs := []struct {
+		name string
+		mem  int
+	}{
+		{"ample-memory", 1 << 20},
+		{"collapsed-memory", 64},
+	}
+
+	measure := func(root plan.Node, mem int) (float64, error) {
+		ctx := exec.NewContext()
+		ctx.Mem = exec.NewMemBroker(mem)
+		if _, err := exec.Run(root, ctx); err != nil {
+			return 0, err
+		}
+		return ctx.Clock.Units(), nil
+	}
+
+	var idealTimes, producedTimes []float64
+	for _, env := range envs {
+		// The system plans believing it has ample memory (the change is
+		// unexpected — that is the point of the test).
+		o := opt.New(cat)
+		produced, err := o.Optimize(bq, nil)
+		if err != nil {
+			return nil, err
+		}
+		tProduced, err := measure(produced, env.mem)
+		if err != nil {
+			return nil, err
+		}
+		// The ideal plan for this environment: an optimizer that *knows*
+		// the memory budget, plus exhaustive forcing as ground truth.
+		oIdeal := opt.New(cat)
+		oIdeal.Opt.MemBudgetRows = env.mem
+		plans, err := oIdeal.EnumerateFullPlans(bq, nil, 16)
+		if err != nil {
+			return nil, err
+		}
+		tIdeal := math.Inf(1)
+		for _, p := range plans {
+			t, err := measure(p.Root, env.mem)
+			if err != nil {
+				return nil, err
+			}
+			tIdeal = math.Min(tIdeal, t)
+		}
+		idealTimes = append(idealTimes, tIdeal)
+		producedTimes = append(producedTimes, tProduced)
+		ext := robustness.ExtrinsicVariability(tProduced, tIdeal)
+		r.Printf("%-18s produced=%.1f ideal=%.1f extrinsic=%.3f", env.name, tProduced, tIdeal, ext)
+	}
+	intrinsic := idealTimes[1] / math.Max(idealTimes[0], 1e-9)
+	extrinsic := robustness.ExtrinsicVariability(producedTimes[1], idealTimes[1])
+	r.Printf("intrinsic variability (ideal cost growth) = %.2fx", intrinsic)
+	r.Printf("extrinsic variability (system's own fault) = %.3f", extrinsic)
+	r.Set("intrinsic", intrinsic)
+	r.Set("extrinsic", extrinsic)
+	return r, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rqp/internal/advisor"
+	"rqp/internal/robustness"
+	"rqp/internal/workload"
+)
+
+// e12Workload generates the training/perturbed workload: a mix of selective
+// lookups and a reporting query, parameterized by a round number so that
+// perturbed rounds keep the pattern but shift every literal — the
+// transformation the Graefe et al. advisor-robustness method prescribes.
+func e12Workload(round int) []string {
+	k := 37 + 61*round
+	d := 8300 + 97*round
+	return []string{
+		fmt.Sprintf("SELECT o_totalprice FROM orders WHERE o_orderkey = %d", k),
+		fmt.Sprintf("SELECT o_totalprice FROM orders WHERE o_orderkey = %d", k+11),
+		fmt.Sprintf("SELECT l_extendedprice FROM lineitem WHERE l_orderkey = %d", k+3),
+		fmt.Sprintf(`SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem
+			WHERE l_shipdate >= DATE(%d) AND l_shipdate < DATE(%d)`, d, d+40),
+		workload.PerturbTPCHQuery("Q6", round),
+	}
+}
+
+// e12ShiftedWorkload is the pattern-shift contrast: predicates move to
+// columns the frozen design does not cover.
+func e12ShiftedWorkload() []string {
+	return []string{
+		"SELECT COUNT(*) FROM lineitem WHERE l_discount >= 0.08",
+		"SELECT COUNT(*) FROM orders WHERE o_totalprice < 5000",
+		"SELECT COUNT(*) FROM part WHERE p_brand = 7",
+	}
+}
+
+// E12AdvisorRobust implements the Graefe et al. physical-design-advisor
+// robustness method: recommend a design for the original workload, measure
+// T0, then run pattern-preserving perturbations W1..Wn on the frozen design
+// and report max (Ti − T0)/T0, plus a pattern-shifted workload as contrast
+// and the Gebaly–Aboulnaga generality count.
+func E12AdvisorRobust(scale float64) (*Report, error) {
+	cat, err := workload.BuildTPCH(workload.TPCHConfig{Scale: 2 * scale, Seed: 8})
+	if err != nil {
+		return nil, err
+	}
+	a := advisor.New(cat)
+	training := e12Workload(0)
+	rec, err := a.Recommend(training, 3)
+	if err != nil {
+		return nil, err
+	}
+	t0, err := a.MeasuredWorkloadCost(training)
+	if err != nil {
+		return nil, err
+	}
+
+	r := newReport("E12", "index advisor robustness under perturbed workloads")
+	r.Printf("advisor chose %d indexes (est cost %.1f -> %.1f)",
+		len(rec.Chosen), rec.CostBefore, rec.CostAfter)
+	for _, c := range rec.Chosen {
+		r.Printf("  %s", c.Key())
+	}
+	var perturbedCosts []float64
+	for round := 1; round <= 4; round++ {
+		ti, err := a.MeasuredWorkloadCost(e12Workload(round))
+		if err != nil {
+			return nil, err
+		}
+		perturbedCosts = append(perturbedCosts, ti)
+		r.Printf("W%d total=%.1f (T0=%.1f, delta=%+.1f%%)", round, ti, t0, 100*(ti-t0)/t0)
+	}
+	rob := robustness.AdvisorRobustness(t0, perturbedCosts)
+	shifted, err := a.MeasuredWorkloadCost(e12ShiftedWorkload())
+	if err != nil {
+		return nil, err
+	}
+	shiftDegradation := robustness.AdvisorRobustness(t0, []float64{shifted})
+	gen := advisor.Generality(rec)
+	r.Printf("advisor robustness max(Ti-T0)/T0 = %.3f (pattern-preserving)", rob)
+	r.Printf("pattern-shift degradation        = %.3f", shiftDegradation)
+	r.Printf("generality (distinct index prefixes) = %d", gen)
+	r.Set("robustness", rob)
+	r.Set("shift_degradation", shiftDegradation)
+	r.Set("generality", float64(gen))
+	r.Set("indexes", float64(len(rec.Chosen)))
+	return r, nil
+}

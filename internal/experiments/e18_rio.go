@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"rqp/internal/adaptive"
+	"rqp/internal/exec"
+	"rqp/internal/opt"
+	"rqp/internal/plan"
+	"rqp/internal/robustness"
+	"rqp/internal/sql"
+	"rqp/internal/workload"
+)
+
+// E18Rio compares the three reaction points of the adaptation spectrum the
+// report's execution sessions lay out, on the correlation-trap workload:
+//
+//	a-priori    — Rio bounding boxes (choose a robust plan up front);
+//	reactive    — POP checked progressive re-optimization (repair at run time);
+//	baseline    — classic optimize-once.
+//
+// Reported per system: total cost, worst-case query cost, and smoothness
+// over the workload.
+func E18Rio(scale float64) (*Report, error) {
+	cfg := workload.DefaultStar()
+	cfg.FactRows = scaleInt(15000, scale)
+	cat, err := workload.BuildStar(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := workload.StarWorkload(cfg, scaleInt(30, scale), 0.5, 77)
+
+	type system struct {
+		name  string
+		run   func(sel *sql.SelectStmt) (float64, error)
+		costs []float64
+	}
+	classic := &system{name: "classic", run: func(sel *sql.SelectStmt) (float64, error) {
+		bq, err := plan.Bind(sel, cat)
+		if err != nil {
+			return 0, err
+		}
+		o := opt.New(cat)
+		root, err := o.Optimize(bq, nil)
+		if err != nil {
+			return 0, err
+		}
+		ctx := exec.NewContext()
+		if _, err := exec.Run(root, ctx); err != nil {
+			return 0, err
+		}
+		return ctx.Clock.Units(), nil
+	}}
+	pop := &system{name: "pop", run: func(sel *sql.SelectStmt) (float64, error) {
+		bq, err := plan.Bind(sel, cat)
+		if err != nil {
+			return 0, err
+		}
+		p := &adaptive.Progressive{Opt: opt.New(cat), Policy: adaptive.Checked, ReoptCharge: 5}
+		ctx := exec.NewContext()
+		if _, err := p.Execute(bq, ctx); err != nil {
+			return 0, err
+		}
+		return ctx.Clock.Units(), nil
+	}}
+	rio := &system{name: "rio", run: func(sel *sql.SelectStmt) (float64, error) {
+		bq, err := plan.Bind(sel, cat)
+		if err != nil {
+			return 0, err
+		}
+		rr := &adaptive.Rio{Opt: opt.New(cat), UncertaintyFactor: 6}
+		root, _, err := rr.Choose(bq, nil)
+		if err != nil {
+			return 0, err
+		}
+		ctx := exec.NewContext()
+		if _, err := exec.Run(root, ctx); err != nil {
+			return 0, err
+		}
+		return ctx.Clock.Units(), nil
+	}}
+	systems := []*system{classic, pop, rio}
+
+	for _, q := range queries {
+		st, err := sql.Parse(q.SQL)
+		if err != nil {
+			return nil, err
+		}
+		sel := st.(*sql.SelectStmt)
+		for _, s := range systems {
+			c, err := s.run(sel)
+			if err != nil {
+				return nil, err
+			}
+			s.costs = append(s.costs, c)
+		}
+	}
+
+	r := newReport("E18", "adaptation spectrum: classic vs POP (reactive) vs Rio (proactive)")
+	for _, s := range systems {
+		total, worst := 0.0, 0.0
+		for _, c := range s.costs {
+			total += c
+			if c > worst {
+				worst = c
+			}
+		}
+		sm := robustness.Smoothness(s.costs)
+		r.Printf("%-8s total=%.1f worst=%.1f smoothness=%.3f", s.name, total, worst, sm)
+		r.Set(s.name+"_total", total)
+		r.Set(s.name+"_worst", worst)
+		r.Set(s.name+"_smoothness", sm)
+	}
+	return r, nil
+}

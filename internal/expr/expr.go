@@ -1,0 +1,648 @@
+// Package expr implements typed expression trees over rows: evaluation with
+// SQL three-valued logic, predicate analysis (conjunct extraction, column
+// intervals) and algebraic normalization. Expressions are bound: column
+// references carry the resolved position in the input schema.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"rqp/internal/types"
+)
+
+// Op enumerates operators for binary and unary expression nodes.
+type Op uint8
+
+// Binary and unary operators.
+const (
+	OpInvalid Op = iota
+	// comparisons
+	OpEQ
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	// arithmetic
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	// logical
+	OpAnd
+	OpOr
+	OpNot
+	// unary arithmetic
+	OpNeg
+)
+
+var opNames = map[Op]string{
+	OpEQ: "=", OpNE: "<>", OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "AND", OpOr: "OR", OpNot: "NOT", OpNeg: "-",
+}
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string { return opNames[o] }
+
+// IsComparison reports whether the operator is one of =, <>, <, <=, >, >=.
+func (o Op) IsComparison() bool { return o >= OpEQ && o <= OpGE }
+
+// Negate returns the comparison with negated truth value (= becomes <>, < becomes >= ...).
+func (o Op) Negate() Op {
+	switch o {
+	case OpEQ:
+		return OpNE
+	case OpNE:
+		return OpEQ
+	case OpLT:
+		return OpGE
+	case OpLE:
+		return OpGT
+	case OpGT:
+		return OpLE
+	case OpGE:
+		return OpLT
+	}
+	return OpInvalid
+}
+
+// Flip returns the comparison with swapped operands (< becomes >, etc).
+func (o Op) Flip() Op {
+	switch o {
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	}
+	return o // EQ, NE symmetric
+}
+
+// Expr is a bound expression node.
+type Expr interface {
+	// Eval evaluates against a row; params carries positional query
+	// parameters ('?' placeholders).
+	Eval(row types.Row, params []types.Value) (types.Value, error)
+	// Kind reports the static result kind (best effort; KindNull = unknown).
+	Kind() types.Kind
+	// String renders SQL-ish text for EXPLAIN.
+	String() string
+	// Walk visits this node and all children; the visit function returns
+	// false to prune.
+	Walk(fn func(Expr) bool)
+}
+
+// Col is a bound column reference.
+type Col struct {
+	Index int    // position in the input row
+	Name  string // qualified display name
+	Typ   types.Kind
+}
+
+// Eval implements Expr.
+func (c *Col) Eval(row types.Row, _ []types.Value) (types.Value, error) {
+	if c.Index < 0 || c.Index >= len(row) {
+		return types.Null(), fmt.Errorf("expr: column %s index %d out of range %d", c.Name, c.Index, len(row))
+	}
+	return row[c.Index], nil
+}
+
+// Kind implements Expr.
+func (c *Col) Kind() types.Kind { return c.Typ }
+
+// String implements Expr.
+func (c *Col) String() string { return c.Name }
+
+// Walk implements Expr.
+func (c *Col) Walk(fn func(Expr) bool) { fn(c) }
+
+// Const is a literal value.
+type Const struct{ V types.Value }
+
+// Eval implements Expr.
+func (c *Const) Eval(types.Row, []types.Value) (types.Value, error) { return c.V, nil }
+
+// Kind implements Expr.
+func (c *Const) Kind() types.Kind { return c.V.K }
+
+// String implements Expr.
+func (c *Const) String() string { return c.V.String() }
+
+// Walk implements Expr.
+func (c *Const) Walk(fn func(Expr) bool) { fn(c) }
+
+// Param is a positional query parameter ('?').
+type Param struct{ Index int }
+
+// Eval implements Expr.
+func (p *Param) Eval(_ types.Row, params []types.Value) (types.Value, error) {
+	if p.Index < 0 || p.Index >= len(params) {
+		return types.Null(), fmt.Errorf("expr: parameter %d not bound (have %d)", p.Index, len(params))
+	}
+	return params[p.Index], nil
+}
+
+// Kind implements Expr.
+func (p *Param) Kind() types.Kind { return types.KindNull }
+
+// String implements Expr.
+func (p *Param) String() string { return fmt.Sprintf("?%d", p.Index) }
+
+// Walk implements Expr.
+func (p *Param) Walk(fn func(Expr) bool) { fn(p) }
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Eval implements Expr with SQL three-valued logic for AND/OR and NULL
+// propagation for comparisons and arithmetic.
+func (b *Bin) Eval(row types.Row, params []types.Value) (types.Value, error) {
+	if b.Op == OpAnd || b.Op == OpOr {
+		return b.evalLogical(row, params)
+	}
+	l, err := b.L.Eval(row, params)
+	if err != nil {
+		return types.Null(), err
+	}
+	r, err := b.R.Eval(row, params)
+	if err != nil {
+		return types.Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return types.Null(), nil
+	}
+	if b.Op.IsComparison() {
+		cmp := types.Compare(l, r)
+		switch b.Op {
+		case OpEQ:
+			return types.Bool(cmp == 0), nil
+		case OpNE:
+			return types.Bool(cmp != 0), nil
+		case OpLT:
+			return types.Bool(cmp < 0), nil
+		case OpLE:
+			return types.Bool(cmp <= 0), nil
+		case OpGT:
+			return types.Bool(cmp > 0), nil
+		case OpGE:
+			return types.Bool(cmp >= 0), nil
+		}
+	}
+	return evalArith(b.Op, l, r)
+}
+
+func (b *Bin) evalLogical(row types.Row, params []types.Value) (types.Value, error) {
+	l, err := b.L.Eval(row, params)
+	if err != nil {
+		return types.Null(), err
+	}
+	// Short circuit per Kleene logic.
+	if b.Op == OpAnd && l.K == types.KindBool && l.I == 0 {
+		return types.Bool(false), nil
+	}
+	if b.Op == OpOr && l.IsTrue() {
+		return types.Bool(true), nil
+	}
+	r, err := b.R.Eval(row, params)
+	if err != nil {
+		return types.Null(), err
+	}
+	lt, ln := l.IsTrue(), l.IsNull()
+	rt, rn := r.IsTrue(), r.IsNull()
+	if b.Op == OpAnd {
+		switch {
+		case lt && rt:
+			return types.Bool(true), nil
+		case (!lt && !ln) || (!rt && !rn):
+			return types.Bool(false), nil
+		default:
+			return types.Null(), nil
+		}
+	}
+	switch {
+	case lt || rt:
+		return types.Bool(true), nil
+	case ln || rn:
+		return types.Null(), nil
+	default:
+		return types.Bool(false), nil
+	}
+}
+
+func evalArith(op Op, l, r types.Value) (types.Value, error) {
+	if !l.Numeric() || !r.Numeric() {
+		return types.Null(), fmt.Errorf("expr: %s applied to non-numeric operands %s, %s", op, l, r)
+	}
+	if l.K == types.KindFloat || r.K == types.KindFloat || (op == OpDiv) {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch op {
+		case OpAdd:
+			return types.Float(lf + rf), nil
+		case OpSub:
+			return types.Float(lf - rf), nil
+		case OpMul:
+			return types.Float(lf * rf), nil
+		case OpDiv:
+			if rf == 0 {
+				return types.Null(), nil
+			}
+			return types.Float(lf / rf), nil
+		case OpMod:
+			if rf == 0 {
+				return types.Null(), nil
+			}
+			return types.Float(float64(int64(lf) % int64(rf))), nil
+		}
+	}
+	li, ri := l.AsInt(), r.AsInt()
+	switch op {
+	case OpAdd:
+		return types.Int(li + ri), nil
+	case OpSub:
+		return types.Int(li - ri), nil
+	case OpMul:
+		return types.Int(li * ri), nil
+	case OpMod:
+		if ri == 0 {
+			return types.Null(), nil
+		}
+		return types.Int(li % ri), nil
+	}
+	return types.Null(), fmt.Errorf("expr: unsupported arithmetic op %v", op)
+}
+
+// Kind implements Expr.
+func (b *Bin) Kind() types.Kind {
+	if b.Op.IsComparison() || b.Op == OpAnd || b.Op == OpOr {
+		return types.KindBool
+	}
+	if b.L.Kind() == types.KindFloat || b.R.Kind() == types.KindFloat || b.Op == OpDiv {
+		return types.KindFloat
+	}
+	return types.KindInt
+}
+
+// String implements Expr.
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Walk implements Expr.
+func (b *Bin) Walk(fn func(Expr) bool) {
+	if fn(b) {
+		b.L.Walk(fn)
+		b.R.Walk(fn)
+	}
+}
+
+// Un is a unary operation (NOT, unary minus).
+type Un struct {
+	Op Op
+	E  Expr
+}
+
+// Eval implements Expr.
+func (u *Un) Eval(row types.Row, params []types.Value) (types.Value, error) {
+	v, err := u.E.Eval(row, params)
+	if err != nil {
+		return types.Null(), err
+	}
+	if v.IsNull() {
+		return types.Null(), nil
+	}
+	switch u.Op {
+	case OpNot:
+		return types.Bool(!v.IsTrue()), nil
+	case OpNeg:
+		if v.K == types.KindFloat {
+			return types.Float(-v.F), nil
+		}
+		return types.Int(-v.AsInt()), nil
+	}
+	return types.Null(), fmt.Errorf("expr: unsupported unary op %v", u.Op)
+}
+
+// Kind implements Expr.
+func (u *Un) Kind() types.Kind {
+	if u.Op == OpNot {
+		return types.KindBool
+	}
+	return u.E.Kind()
+}
+
+// String implements Expr.
+func (u *Un) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.E) }
+
+// Walk implements Expr.
+func (u *Un) Walk(fn func(Expr) bool) {
+	if fn(u) {
+		u.E.Walk(fn)
+	}
+}
+
+// In tests membership of E in a literal list.
+type In struct {
+	E    Expr
+	List []Expr
+	Neg  bool
+}
+
+// Eval implements Expr.
+func (in *In) Eval(row types.Row, params []types.Value) (types.Value, error) {
+	v, err := in.E.Eval(row, params)
+	if err != nil {
+		return types.Null(), err
+	}
+	if v.IsNull() {
+		return types.Null(), nil
+	}
+	sawNull := false
+	for _, item := range in.List {
+		iv, err := item.Eval(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if types.Equal(v, iv) {
+			return types.Bool(!in.Neg), nil
+		}
+	}
+	if sawNull {
+		return types.Null(), nil
+	}
+	return types.Bool(in.Neg), nil
+}
+
+// Kind implements Expr.
+func (in *In) Kind() types.Kind { return types.KindBool }
+
+// String implements Expr.
+func (in *In) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	not := ""
+	if in.Neg {
+		not = " NOT"
+	}
+	return fmt.Sprintf("(%s%s IN (%s))", in.E, not, strings.Join(parts, ", "))
+}
+
+// Walk implements Expr.
+func (in *In) Walk(fn func(Expr) bool) {
+	if fn(in) {
+		in.E.Walk(fn)
+		for _, e := range in.List {
+			e.Walk(fn)
+		}
+	}
+}
+
+// IsNull tests E IS [NOT] NULL.
+type IsNull struct {
+	E   Expr
+	Neg bool
+}
+
+// Eval implements Expr.
+func (n *IsNull) Eval(row types.Row, params []types.Value) (types.Value, error) {
+	v, err := n.E.Eval(row, params)
+	if err != nil {
+		return types.Null(), err
+	}
+	return types.Bool(v.IsNull() != n.Neg), nil
+}
+
+// Kind implements Expr.
+func (n *IsNull) Kind() types.Kind { return types.KindBool }
+
+// String implements Expr.
+func (n *IsNull) String() string {
+	if n.Neg {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
+}
+
+// Walk implements Expr.
+func (n *IsNull) Walk(fn func(Expr) bool) {
+	if fn(n) {
+		n.E.Walk(fn)
+	}
+}
+
+// Like implements simple SQL LIKE with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern string
+	Neg     bool
+}
+
+// Eval implements Expr.
+func (l *Like) Eval(row types.Row, params []types.Value) (types.Value, error) {
+	v, err := l.E.Eval(row, params)
+	if err != nil {
+		return types.Null(), err
+	}
+	if v.IsNull() {
+		return types.Null(), nil
+	}
+	m := likeMatch(v.S, l.Pattern)
+	return types.Bool(m != l.Neg), nil
+}
+
+func likeMatch(s, pat string) bool {
+	// Iterative two-pointer matcher with backtracking on %.
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// Kind implements Expr.
+func (l *Like) Kind() types.Kind { return types.KindBool }
+
+// String implements Expr.
+func (l *Like) String() string {
+	not := ""
+	if l.Neg {
+		not = " NOT"
+	}
+	return fmt.Sprintf("(%s%s LIKE '%s')", l.E, not, l.Pattern)
+}
+
+// Walk implements Expr.
+func (l *Like) Walk(fn func(Expr) bool) {
+	if fn(l) {
+		l.E.Walk(fn)
+	}
+}
+
+// Func is a scalar builtin function call.
+type Func struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (f *Func) Eval(row types.Row, params []types.Value) (types.Value, error) {
+	args := make([]types.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := a.Eval(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		args[i] = v
+	}
+	return callBuiltin(f.Name, args)
+}
+
+func callBuiltin(name string, args []types.Value) (types.Value, error) {
+	switch name {
+	case "ABS":
+		if len(args) != 1 {
+			break
+		}
+		v := args[0]
+		if v.IsNull() {
+			return v, nil
+		}
+		if v.K == types.KindFloat {
+			if v.F < 0 {
+				return types.Float(-v.F), nil
+			}
+			return v, nil
+		}
+		if v.I < 0 {
+			return types.Int(-v.I), nil
+		}
+		return v, nil
+	case "LOWER":
+		if len(args) != 1 {
+			break
+		}
+		if args[0].IsNull() {
+			return args[0], nil
+		}
+		return types.Str(strings.ToLower(args[0].S)), nil
+	case "UPPER":
+		if len(args) != 1 {
+			break
+		}
+		if args[0].IsNull() {
+			return args[0], nil
+		}
+		return types.Str(strings.ToUpper(args[0].S)), nil
+	case "LENGTH":
+		if len(args) != 1 {
+			break
+		}
+		if args[0].IsNull() {
+			return args[0], nil
+		}
+		return types.Int(int64(len(args[0].S))), nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return types.Null(), nil
+	case "SUBSTR":
+		if len(args) != 3 {
+			break
+		}
+		if args[0].IsNull() {
+			return args[0], nil
+		}
+		s := args[0].S
+		start := int(args[1].AsInt()) - 1
+		n := int(args[2].AsInt())
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			start = len(s)
+		}
+		end := start + n
+		if end > len(s) {
+			end = len(s)
+		}
+		return types.Str(s[start:end]), nil
+	}
+	return types.Null(), fmt.Errorf("expr: unknown or malformed function %s/%d", name, len(args))
+}
+
+// Kind implements Expr.
+func (f *Func) Kind() types.Kind {
+	switch f.Name {
+	case "ABS":
+		if len(f.Args) == 1 {
+			return f.Args[0].Kind()
+		}
+	case "LOWER", "UPPER", "SUBSTR":
+		return types.KindString
+	case "LENGTH":
+		return types.KindInt
+	}
+	return types.KindNull
+}
+
+// String implements Expr.
+func (f *Func) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(parts, ", "))
+}
+
+// Walk implements Expr.
+func (f *Func) Walk(fn func(Expr) bool) {
+	if fn(f) {
+		for _, a := range f.Args {
+			a.Walk(fn)
+		}
+	}
+}
+
+// EvalPredicate evaluates e as a filter: NULL counts as false.
+func EvalPredicate(e Expr, row types.Row, params []types.Value) (bool, error) {
+	v, err := e.Eval(row, params)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTrue(), nil
+}

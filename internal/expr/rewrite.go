@@ -1,0 +1,157 @@
+package expr
+
+import "rqp/internal/types"
+
+// Normalize puts a predicate into a canonical form so that semantically
+// equivalent spellings optimize identically (the Dagstuhl "equivalent
+// queries" robustness requirement — e.g. NOT (x <> c) must behave exactly
+// like x = c):
+//
+//   - NOT is pushed down through comparisons and De Morgan'ed through
+//     AND/OR; double negation is eliminated;
+//   - comparisons are oriented column-op-literal;
+//   - constant subexpressions are folded;
+//   - trivially true/false factors are simplified.
+func Normalize(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	e = pushNot(e, false)
+	e = Transform(e, orientAndFold)
+	return simplify(e)
+}
+
+// pushNot rewrites the tree with an incoming negation flag.
+func pushNot(e Expr, neg bool) Expr {
+	switch n := e.(type) {
+	case *Un:
+		if n.Op == OpNot {
+			return pushNot(n.E, !neg)
+		}
+	case *Bin:
+		switch n.Op {
+		case OpAnd:
+			op := OpAnd
+			if neg {
+				op = OpOr
+			}
+			return &Bin{Op: op, L: pushNot(n.L, neg), R: pushNot(n.R, neg)}
+		case OpOr:
+			op := OpOr
+			if neg {
+				op = OpAnd
+			}
+			return &Bin{Op: op, L: pushNot(n.L, neg), R: pushNot(n.R, neg)}
+		default:
+			if neg && n.Op.IsComparison() {
+				return &Bin{Op: n.Op.Negate(), L: pushNot(n.L, false), R: pushNot(n.R, false)}
+			}
+		}
+	case *In:
+		if neg {
+			return &In{E: pushNot(n.E, false), List: n.List, Neg: !n.Neg}
+		}
+	case *IsNull:
+		if neg {
+			return &IsNull{E: pushNot(n.E, false), Neg: !n.Neg}
+		}
+	case *Like:
+		if neg {
+			return &Like{E: pushNot(n.E, false), Pattern: n.Pattern, Neg: !n.Neg}
+		}
+	}
+	if neg {
+		return &Un{Op: OpNot, E: e}
+	}
+	return e
+}
+
+// orientAndFold flips literal-op-column comparisons and folds
+// constant-only subtrees.
+func orientAndFold(e Expr) Expr {
+	b, ok := e.(*Bin)
+	if !ok {
+		return foldIfConst(e)
+	}
+	if b.Op.IsComparison() {
+		if _, lIsConst := b.L.(*Const); lIsConst {
+			if _, rIsCol := b.R.(*Col); rIsCol {
+				b = &Bin{Op: b.Op.Flip(), L: b.R, R: b.L}
+			}
+		}
+	}
+	return foldIfConst(b)
+}
+
+func foldIfConst(e Expr) Expr {
+	switch e.(type) {
+	case *Const, *Col, *Param:
+		return e
+	}
+	constOnly := true
+	e.Walk(func(n Expr) bool {
+		switch n.(type) {
+		case *Col, *Param:
+			constOnly = false
+			return false
+		}
+		return true
+	})
+	if !constOnly {
+		return e
+	}
+	v, err := e.Eval(nil, nil)
+	if err != nil {
+		return e
+	}
+	return &Const{V: v}
+}
+
+// simplify prunes TRUE/FALSE factors from AND/OR trees.
+func simplify(e Expr) Expr {
+	b, ok := e.(*Bin)
+	if !ok {
+		return e
+	}
+	if b.Op != OpAnd && b.Op != OpOr {
+		return e
+	}
+	l := simplify(b.L)
+	r := simplify(b.R)
+	lc, lIsConst := l.(*Const)
+	rc, rIsConst := r.(*Const)
+	if b.Op == OpAnd {
+		switch {
+		case lIsConst && lc.V.IsTrue():
+			return r
+		case rIsConst && rc.V.IsTrue():
+			return l
+		case lIsConst && lc.V.K == types.KindBool && lc.V.I == 0:
+			return l
+		case rIsConst && rc.V.K == types.KindBool && rc.V.I == 0:
+			return r
+		}
+	} else {
+		switch {
+		case lIsConst && lc.V.IsTrue():
+			return l
+		case rIsConst && rc.V.IsTrue():
+			return r
+		case lIsConst && lc.V.K == types.KindBool && lc.V.I == 0:
+			return r
+		case rIsConst && rc.V.K == types.KindBool && rc.V.I == 0:
+			return l
+		}
+	}
+	return &Bin{Op: b.Op, L: l, R: r}
+}
+
+// EquivalentForm returns a canonical string for the normalized predicate;
+// two predicates with the same EquivalentForm are treated as the same by
+// the optimizer's memoization and by the equivalence robustness benchmark.
+func EquivalentForm(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return Normalize(e).String()
+}

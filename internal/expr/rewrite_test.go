@@ -1,0 +1,127 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"rqp/internal/types"
+)
+
+// randomPredicate builds a random boolean expression over two int columns.
+func randomPredicate(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		ops := []Op{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+		return &Bin{
+			Op: ops[rng.Intn(len(ops))],
+			L:  &Col{Index: rng.Intn(2), Name: "c", Typ: types.KindInt},
+			R:  &Const{V: types.Int(rng.Int63n(20) - 10)},
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &Bin{Op: OpAnd, L: randomPredicate(rng, depth-1), R: randomPredicate(rng, depth-1)}
+	case 1:
+		return &Bin{Op: OpOr, L: randomPredicate(rng, depth-1), R: randomPredicate(rng, depth-1)}
+	default:
+		return &Un{Op: OpNot, E: randomPredicate(rng, depth-1)}
+	}
+}
+
+// TestNormalizePreservesSemantics is the core equivalence property: for
+// random predicates and random rows, Normalize must not change the result.
+func TestNormalizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		p := randomPredicate(rng, 4)
+		n := Normalize(p)
+		for j := 0; j < 20; j++ {
+			row := types.Row{types.Int(rng.Int63n(24) - 12), types.Int(rng.Int63n(24) - 12)}
+			want, err1 := p.Eval(row, nil)
+			got, err2 := n.Eval(row, nil)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("eval error: %v %v", err1, err2)
+			}
+			if want.IsTrue() != got.IsTrue() || want.IsNull() != got.IsNull() {
+				t.Fatalf("Normalize changed semantics:\n  orig %s = %v\n  norm %s = %v\n  row %v",
+					p, want, n, got, row)
+			}
+		}
+	}
+}
+
+func TestDoubleNegationEliminated(t *testing.T) {
+	base := &Bin{Op: OpEQ, L: &Col{Index: 0, Typ: types.KindInt}, R: &Const{V: types.Int(3)}}
+	nn := &Un{Op: OpNot, E: &Un{Op: OpNot, E: base}}
+	n := Normalize(nn)
+	if n.String() != base.String() {
+		t.Errorf("NOT NOT p should normalize to p: got %s", n)
+	}
+}
+
+// TestEquivalentSpellingsCanonicalize covers the Dagstuhl "equivalent
+// queries" requirement: NOT (x <> c) must canonicalize identically to x = c,
+// and literal-first comparisons identical to column-first.
+func TestEquivalentSpellingsCanonicalize(t *testing.T) {
+	c0 := func() *Col { return &Col{Index: 0, Name: "x", Typ: types.KindInt} }
+	v := &Const{V: types.Int(13)}
+	a := &Un{Op: OpNot, E: &Bin{Op: OpNE, L: c0(), R: v}} // NOT (x <> 13)
+	b := &Bin{Op: OpEQ, L: c0(), R: v}                    // x = 13
+	c := &Bin{Op: OpEQ, L: v, R: c0()}                    // 13 = x
+	fa, fb, fc := EquivalentForm(a), EquivalentForm(b), EquivalentForm(c)
+	if fa != fb || fb != fc {
+		t.Errorf("equivalent spellings differ: %q %q %q", fa, fb, fc)
+	}
+	// De Morgan: NOT (p AND q) == NOT p OR NOT q
+	p := &Bin{Op: OpLT, L: c0(), R: v}
+	q := &Bin{Op: OpGT, L: c0(), R: &Const{V: types.Int(2)}}
+	lhs := EquivalentForm(&Un{Op: OpNot, E: &Bin{Op: OpAnd, L: p, R: q}})
+	rhs := EquivalentForm(&Bin{Op: OpOr,
+		L: &Un{Op: OpNot, E: &Bin{Op: OpLT, L: c0(), R: v}},
+		R: &Un{Op: OpNot, E: &Bin{Op: OpGT, L: c0(), R: &Const{V: types.Int(2)}}}})
+	if lhs != rhs {
+		t.Errorf("De Morgan forms differ: %q vs %q", lhs, rhs)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	e := &Bin{Op: OpAdd, L: &Const{V: types.Int(2)}, R: &Const{V: types.Int(3)}}
+	n := Normalize(e)
+	if c, ok := n.(*Const); !ok || c.V.I != 5 {
+		t.Errorf("2+3 should fold to 5, got %s", n)
+	}
+	// TRUE AND p simplifies to p
+	p := &Bin{Op: OpEQ, L: &Col{Index: 0, Typ: types.KindInt}, R: &Const{V: types.Int(1)}}
+	s := Normalize(&Bin{Op: OpAnd, L: &Const{V: types.Bool(true)}, R: p})
+	if s.String() != p.String() {
+		t.Errorf("TRUE AND p should simplify to p, got %s", s)
+	}
+	// FALSE OR p simplifies to p
+	s2 := Normalize(&Bin{Op: OpOr, L: &Const{V: types.Bool(false)}, R: p})
+	if s2.String() != p.String() {
+		t.Errorf("FALSE OR p should simplify to p, got %s", s2)
+	}
+	// p AND FALSE simplifies to FALSE
+	s3 := Normalize(&Bin{Op: OpAnd, L: p, R: &Const{V: types.Bool(false)}})
+	if c, ok := s3.(*Const); !ok || c.V.IsTrue() {
+		t.Errorf("p AND FALSE should fold to FALSE, got %s", s3)
+	}
+}
+
+func TestNormalizeNotThroughInIsNullLike(t *testing.T) {
+	c0 := &Col{Index: 0, Name: "x", Typ: types.KindInt}
+	in := &In{E: c0, List: []Expr{&Const{V: types.Int(1)}}}
+	n := Normalize(&Un{Op: OpNot, E: in})
+	if got, ok := n.(*In); !ok || !got.Neg {
+		t.Errorf("NOT IN should push into In.Neg, got %s", n)
+	}
+	isn := &IsNull{E: c0}
+	n2 := Normalize(&Un{Op: OpNot, E: isn})
+	if got, ok := n2.(*IsNull); !ok || !got.Neg {
+		t.Errorf("NOT IS NULL should push into IsNull.Neg, got %s", n2)
+	}
+	lk := &Like{E: &Col{Index: 0, Typ: types.KindString}, Pattern: "a%"}
+	n3 := Normalize(&Un{Op: OpNot, E: lk})
+	if got, ok := n3.(*Like); !ok || !got.Neg {
+		t.Errorf("NOT LIKE should push into Like.Neg, got %s", n3)
+	}
+}

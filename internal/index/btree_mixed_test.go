@@ -1,0 +1,93 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// TestPropertyInterleavedInsertDelete runs random interleaved inserts and
+// deletes against a map-based model, checking contents and structural
+// invariants along the way.
+func TestPropertyInterleavedInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := New(1)
+	model := map[int64]map[storage.RID]bool{} // key -> set of rids
+
+	insert := func(k int64, rid storage.RID) {
+		tr.Insert(key1(k), rid)
+		if model[k] == nil {
+			model[k] = map[storage.RID]bool{}
+		}
+		model[k][rid] = true
+	}
+	remove := func(k int64, rid storage.RID) {
+		got := tr.Delete(key1(k), rid)
+		want := model[k][rid]
+		if got != want {
+			t.Fatalf("Delete(%d,%d) = %v, model says %v", k, rid, got, want)
+		}
+		delete(model[k], rid)
+	}
+
+	nextRID := storage.RID(0)
+	live := [][2]int64{} // (key, rid) pairs believed present
+	for op := 0; op < 20000; op++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) > 0: // insert-biased
+			k := rng.Int63n(500)
+			rid := nextRID
+			nextRID++
+			insert(k, rid)
+			live = append(live, [2]int64{k, int64(rid)})
+		default:
+			i := rng.Intn(len(live))
+			pair := live[i]
+			live = append(live[:i], live[i+1:]...)
+			remove(pair[0], storage.RID(pair[1]))
+		}
+		if op%4000 == 3999 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	// Final full comparison.
+	wantTotal := 0
+	for _, rids := range model {
+		wantTotal += len(rids)
+	}
+	if tr.Len() != wantTotal {
+		t.Fatalf("Len = %d, model %d", tr.Len(), wantTotal)
+	}
+	var keys []int64
+	tr.Scan(nil, Bound{}, Bound{}, func(e Entry) bool {
+		keys = append(keys, e.Key[0].I)
+		if !model[e.Key[0].I][e.RID] {
+			t.Fatalf("tree holds (%d,%d) not in model", e.Key[0].I, e.RID)
+		}
+		return true
+	})
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("final scan not sorted")
+	}
+}
+
+// TestNullKeysSortFirst pins the NULL ordering contract index scans rely on.
+func TestNullKeysSortFirst(t *testing.T) {
+	tr := New(1)
+	tr.Insert([]types.Value{types.Int(5)}, 1)
+	tr.Insert([]types.Value{types.Null()}, 2)
+	tr.Insert([]types.Value{types.Int(-5)}, 3)
+	var order []storage.RID
+	tr.Scan(nil, Bound{}, Bound{}, func(e Entry) bool {
+		order = append(order, e.RID)
+		return true
+	})
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 1 {
+		t.Errorf("NULL should sort first: %v", order)
+	}
+}

@@ -1,0 +1,165 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"rqp/internal/plan"
+	"rqp/internal/types"
+)
+
+// PlanDiagram is a grid over a one- or two-dimensional selectivity space of
+// a parameterized query, recording the optimizer's plan choice in every
+// cell (Reddy & Haritsa). Anorexic reduction (Harish, Darera & Haritsa)
+// swallows cells into neighbouring plans whose cost is within (1+lambda),
+// shrinking the plan set drastically — the report's "identifying robust
+// plans through plan diagram reduction".
+type PlanDiagram struct {
+	XValues []types.Value // parameter values along X
+	YValues []types.Value // nil for 1-D diagrams
+	Cells   [][]int       // [y][x] -> plan id
+	Plans   []plan.Node   // distinct plans, id-indexed
+	Costs   [][]float64   // [y][x] -> estimated cost of the cell's plan
+	Sigs    []string
+}
+
+// BuildPlanDiagram optimizes the query at every grid point. The query must
+// contain one parameter ('?') per axis: params[0] sweeps X, params[1]
+// sweeps Y (if YValues non-nil).
+func (o *Optimizer) BuildPlanDiagram(q *plan.Query, xs []types.Value, ys []types.Value) (*PlanDiagram, error) {
+	d := &PlanDiagram{XValues: xs, YValues: ys}
+	sigID := map[string]int{}
+	rows := 1
+	if len(ys) > 0 {
+		rows = len(ys)
+	}
+	d.Cells = make([][]int, rows)
+	d.Costs = make([][]float64, rows)
+	for yi := 0; yi < rows; yi++ {
+		d.Cells[yi] = make([]int, len(xs))
+		d.Costs[yi] = make([]float64, len(xs))
+		for xi, xv := range xs {
+			params := []types.Value{xv}
+			if len(ys) > 0 {
+				params = append(params, ys[yi])
+			}
+			root, err := o.Optimize(q, params)
+			if err != nil {
+				return nil, err
+			}
+			s := plan.PlanSignature(root)
+			id, ok := sigID[s]
+			if !ok {
+				id = len(d.Plans)
+				sigID[s] = id
+				d.Plans = append(d.Plans, root)
+				d.Sigs = append(d.Sigs, s)
+			}
+			d.Cells[yi][xi] = id
+			d.Costs[yi][xi] = root.Props().EstCost
+		}
+	}
+	return d, nil
+}
+
+// NumPlans returns the count of distinct plans in the diagram.
+func (d *PlanDiagram) NumPlans() int {
+	seen := map[int]bool{}
+	for _, row := range d.Cells {
+		for _, id := range row {
+			seen[id] = true
+		}
+	}
+	return len(seen)
+}
+
+// CostOfPlanAt evaluates plan `id` at the cell (re-costing the plan's
+// structure under the cell's parameters by re-optimizing with the plan
+// forced is expensive; the diagram instead approximates with the recorded
+// cell costs and a swallowing rule based on cost dominance of neighbours).
+//
+// Reduce performs anorexic reduction: repeatedly recolor a cell to a
+// neighbouring plan when that plan's cost at an adjacent cell is within
+// (1+lambda) of the cell's own cost. The approximation follows the paper's
+// observation that plan cost functions are smooth in selectivity space, so
+// neighbouring-cell costs bound same-plan costs.
+func (d *PlanDiagram) Reduce(lambda float64) *PlanDiagram {
+	rows := len(d.Cells)
+	cols := 0
+	if rows > 0 {
+		cols = len(d.Cells[0])
+	}
+	out := &PlanDiagram{XValues: d.XValues, YValues: d.YValues, Plans: d.Plans, Sigs: d.Sigs}
+	out.Cells = make([][]int, rows)
+	out.Costs = make([][]float64, rows)
+	for y := range d.Cells {
+		out.Cells[y] = append([]int(nil), d.Cells[y]...)
+		out.Costs[y] = append([]float64(nil), d.Costs[y]...)
+	}
+	// Plans ranked by area (descending): big plans swallow small ones.
+	area := map[int]int{}
+	for _, row := range out.Cells {
+		for _, id := range row {
+			area[id]++
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				cur := out.Cells[y][x]
+				bestID, bestArea := cur, area[cur]
+				for _, nb := range neighbours(y, x, rows, cols) {
+					nid := out.Cells[nb[0]][nb[1]]
+					if nid == cur {
+						continue
+					}
+					// Swallow if the neighbour plan's cost at its own cell is
+					// within (1+lambda) of this cell's cost and it covers a
+					// larger area.
+					if out.Costs[nb[0]][nb[1]] <= out.Costs[y][x]*(1+lambda) && area[nid] > bestArea {
+						bestID, bestArea = nid, area[nid]
+					}
+				}
+				if bestID != cur {
+					area[cur]--
+					area[bestID]++
+					out.Cells[y][x] = bestID
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func neighbours(y, x, rows, cols int) [][2]int {
+	var out [][2]int
+	if y > 0 {
+		out = append(out, [2]int{y - 1, x})
+	}
+	if y < rows-1 {
+		out = append(out, [2]int{y + 1, x})
+	}
+	if x > 0 {
+		out = append(out, [2]int{y, x - 1})
+	}
+	if x < cols-1 {
+		out = append(out, [2]int{y, x + 1})
+	}
+	return out
+}
+
+// Render draws the diagram as ASCII art, one letter per plan.
+func (d *PlanDiagram) Render() string {
+	var sb strings.Builder
+	for _, row := range d.Cells {
+		for _, id := range row {
+			sb.WriteByte(byte('A' + id%26))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%d distinct plans\n", d.NumPlans())
+	return sb.String()
+}

@@ -1,0 +1,448 @@
+// Package opt implements the cost-based optimizer: cardinality estimation
+// with pluggable robustness modes, a cost model over the simulated machine,
+// dynamic-programming join enumeration, exhaustive plan enumeration for the
+// risk metrics, POP validity ranges and plan diagrams with anorexic
+// reduction.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rqp/internal/catalog"
+	"rqp/internal/expr"
+	"rqp/internal/plan"
+	"rqp/internal/stats"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// EstimateMode selects how selectivities are derived.
+type EstimateMode uint8
+
+// Estimation modes. Expected is the classic point estimate. Percentile is
+// the Babcock–Chaudhuri robust estimate: plan with a conservative quantile
+// of the selectivity posterior instead of its mean. Correlated additionally
+// consults column-group statistics to break the independence assumption.
+const (
+	Expected EstimateMode = iota
+	Percentile
+	Correlated
+)
+
+// Options configures one optimization run.
+type Options struct {
+	Mode          EstimateMode
+	PercentileP   float64 // quantile for Percentile mode (e.g. 0.9)
+	EvidenceRows  float64 // pseudo-sample size backing each estimate's posterior
+	UseFeedback   bool    // apply LEO adjustments
+	MemBudgetRows int     // rows an operator may hold before spilling
+	BushyJoins    bool
+	CrossProducts bool // allow cross products inside enumeration
+	// Join algorithm repertoire (plan-repertoire robustness tests flip these).
+	DisableHash    bool
+	DisableMerge   bool
+	DisableNL      bool
+	DisableIndexNL bool
+	GJoinOnly      bool // replace the whole repertoire with the generalized join
+	NoIndexScans   bool // forbid index access paths
+	// ForceIndexScans pins access paths to index scans whenever an index is
+	// applicable, regardless of cost — the deliberately fragile policy the
+	// smoothness ablation compares against.
+	ForceIndexScans bool
+}
+
+// DefaultOptions is a sensible classic configuration.
+func DefaultOptions() Options {
+	return Options{Mode: Expected, PercentileP: 0.9, EvidenceRows: 200, MemBudgetRows: 1 << 16}
+}
+
+// Optimizer plans bound query blocks against a catalog.
+type Optimizer struct {
+	Cat      *catalog.Catalog
+	Feedback *stats.FeedbackStore
+	CM       storage.CostModel
+	Opt      Options
+}
+
+// New returns an optimizer with default options.
+func New(cat *catalog.Catalog) *Optimizer {
+	return &Optimizer{Cat: cat, Feedback: stats.NewFeedbackStore(), CM: storage.DefaultCostModel(), Opt: DefaultOptions()}
+}
+
+// ---------- base relations ----------
+
+// BaseRel abstracts an optimizable input: a catalog table or a materialized
+// intermediate (used by progressive re-optimization, which treats completed
+// subresults as temp tables with exactly known cardinality).
+type BaseRel struct {
+	Alias  string
+	Schema types.Schema // qualified by alias
+	Table  *catalog.Table
+	Temp   []types.Row // set for materialized intermediates
+	Rows   float64     // raw row count
+	Pages  float64
+	Exact  bool // cardinality is known exactly (temp rels)
+}
+
+// relInfo is a base relation plus its pushed-down filters and estimates.
+type relInfo struct {
+	rel       BaseRel
+	offset    int         // column offset in combined schema
+	filters   []expr.Expr // table-local (shifted) conjuncts
+	sel       float64
+	card      float64
+	signature string
+}
+
+func (ri *relInfo) width() int { return len(ri.rel.Schema) }
+
+// joinPred is one conjunct spanning two or more relations.
+type joinPred struct {
+	cond     expr.Expr // over combined schema
+	mask     uint64    // relations referenced
+	sel      float64
+	equi     bool
+	leftCol  int // combined-schema indexes for equi preds
+	rightCol int
+}
+
+// queryInfo is everything the enumerator needs.
+type queryInfo struct {
+	rels     []*relInfo
+	preds    []joinPred
+	combined types.Schema
+	params   []types.Value
+}
+
+// analyze splits the query block's conjuncts into per-relation filters and
+// join predicates and computes all base cardinalities.
+func (o *Optimizer) analyze(rels []BaseRel, conjuncts []expr.Expr, params []types.Value) (*queryInfo, error) {
+	qi := &queryInfo{params: params}
+	offset := 0
+	for _, br := range rels {
+		ri := &relInfo{rel: br, offset: offset, sel: 1}
+		qi.combined = append(qi.combined, br.Schema...)
+		qi.rels = append(qi.rels, ri)
+		offset += len(br.Schema)
+	}
+	relForCol := func(col int) int {
+		for i, ri := range qi.rels {
+			if col >= ri.offset && col < ri.offset+ri.width() {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, c := range conjuncts {
+		cols := expr.ColumnsUsed(c)
+		var mask uint64
+		for col := range cols {
+			ri := relForCol(col)
+			if ri < 0 {
+				return nil, fmt.Errorf("opt: conjunct %s references column outside block", c)
+			}
+			mask |= 1 << uint(ri)
+		}
+		switch popcount(mask) {
+		case 0: // constant predicate: fold into every relation's selectivity via rel 0
+			qi.rels[0].filters = append(qi.rels[0].filters, c)
+		case 1:
+			ri := qi.rels[trailingRel(mask)]
+			ri.filters = append(ri.filters, expr.ShiftColumns(c, -ri.offset))
+		default:
+			jp := joinPred{cond: c, mask: mask}
+			if b, ok := c.(*expr.Bin); ok && b.Op == expr.OpEQ {
+				lc, lok := b.L.(*expr.Col)
+				rc, rok := b.R.(*expr.Col)
+				if lok && rok && relForCol(lc.Index) != relForCol(rc.Index) {
+					jp.equi = true
+					jp.leftCol, jp.rightCol = lc.Index, rc.Index
+				}
+			}
+			jp.sel = o.joinPredSelectivity(qi, jp)
+			qi.preds = append(qi.preds, jp)
+		}
+	}
+	for _, ri := range qi.rels {
+		o.estimateBase(ri, params)
+	}
+	return qi, nil
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+func trailingRel(m uint64) int {
+	for i := 0; i < 64; i++ {
+		if m&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// estimateBase computes the filtered cardinality of one base relation.
+func (o *Optimizer) estimateBase(ri *relInfo, params []types.Value) {
+	rows := ri.rel.Rows
+	sel, sig := o.filterSelectivity(ri.rel, ri.filters, params)
+	ri.signature = sig
+	if o.Opt.UseFeedback && o.Feedback != nil && sig != "" && !ri.rel.Exact {
+		adj := o.Feedback.Adjustment(sig)
+		sel = clamp01(sel * adj)
+	}
+	ri.sel = sel
+	ri.card = math.Max(rows*sel, 0)
+	if len(ri.filters) > 0 && ri.card < 1 {
+		ri.card = math.Min(1, rows)
+	}
+}
+
+// filterSelectivity estimates the combined selectivity of table-local
+// conjuncts and returns the feedback signature for the predicate set.
+func (o *Optimizer) filterSelectivity(br BaseRel, filters []expr.Expr, params []types.Value) (float64, string) {
+	if len(filters) == 0 {
+		return 1, ""
+	}
+	texts := make([]string, len(filters))
+	sels := make([]float64, len(filters))
+	eqCols := []int{}
+	eqSels := []float64{}
+	for i, f := range filters {
+		texts[i] = expr.EquivalentForm(f)
+		s := o.singlePredSelectivity(br, f, params)
+		if o.Opt.Mode == Percentile {
+			d := stats.FromEstimate(s, o.Opt.EvidenceRows)
+			s = d.Percentile(o.Opt.PercentileP)
+		}
+		sels[i] = s
+		if iv, ok := expr.ExtractInterval(f, params); ok && iv.Eq != nil && !iv.NE {
+			eqCols = append(eqCols, iv.Col)
+			eqSels = append(eqSels, s)
+		}
+	}
+	sort.Strings(texts)
+	sig := br.Alias + "|" + strings.Join(texts, "&")
+	if br.Table != nil {
+		sig = br.Table.Name + "|" + strings.Join(texts, "&")
+	}
+
+	// Correlated mode: if all-equality column group has recorded joint NDV,
+	// use the correlation-aware combination for those and multiply the rest.
+	if o.Opt.Mode == Correlated && br.Table != nil && len(eqCols) >= 2 {
+		if _, ok := br.Table.Stats.GroupNDV(eqCols); ok {
+			corrSel := br.Table.Stats.CorrelatedConjunctionSelectivity(eqCols, eqSels)
+			rest := 1.0
+			for i, f := range filters {
+				if iv, ok := expr.ExtractInterval(f, params); ok && iv.Eq != nil && !iv.NE {
+					continue
+				}
+				rest *= sels[i]
+			}
+			return clamp01(corrSel * rest), sig
+		}
+	}
+	total := 1.0
+	for _, s := range sels {
+		total *= s
+	}
+	return clamp01(total), sig
+}
+
+// singlePredSelectivity estimates one conjunct against one relation.
+func (o *Optimizer) singlePredSelectivity(br BaseRel, f expr.Expr, params []types.Value) float64 {
+	var ts *stats.TableStats
+	if br.Table != nil {
+		ts = br.Table.Stats
+	}
+	colStats := func(col int) *stats.ColumnStats {
+		if ts == nil {
+			return nil
+		}
+		return ts.ColStats(col)
+	}
+	if iv, ok := expr.ExtractInterval(f, params); ok {
+		cs := colStats(iv.Col)
+		switch {
+		case iv.Eq != nil && iv.NE:
+			if cs != nil {
+				return clamp01(1 - cs.SelectivityEq(*iv.Eq))
+			}
+			return 0.9
+		case iv.Eq != nil:
+			if cs != nil {
+				return cs.SelectivityEq(*iv.Eq)
+			}
+			return 0.05
+		default:
+			lo, hi := math.Inf(-1), math.Inf(1)
+			if iv.HasLo {
+				lo = iv.Lo
+			}
+			if iv.HasHi {
+				hi = iv.Hi
+			}
+			if cs != nil {
+				return cs.SelectivityRange(lo, hi)
+			}
+			return 0.3
+		}
+	}
+	switch n := f.(type) {
+	case *expr.In:
+		if c, ok := n.E.(*expr.Col); ok {
+			cs := colStats(c.Index)
+			total := 0.0
+			for _, item := range n.List {
+				if lit, ok := item.(*expr.Const); ok {
+					if cs != nil {
+						total += cs.SelectivityEq(lit.V)
+					} else {
+						total += 0.05
+					}
+				}
+			}
+			total = clamp01(total)
+			if n.Neg {
+				return clamp01(1 - total)
+			}
+			return total
+		}
+	case *expr.IsNull:
+		if c, ok := n.E.(*expr.Col); ok {
+			if cs := colStats(c.Index); cs != nil && cs.RowCount > 0 {
+				nf := cs.NullCount / cs.RowCount
+				if n.Neg {
+					return clamp01(1 - nf)
+				}
+				return clamp01(nf)
+			}
+		}
+		if n.Neg {
+			return 0.95
+		}
+		return 0.05
+	case *expr.Like:
+		sel := 0.1
+		if strings.HasPrefix(n.Pattern, "%") {
+			sel = 0.25
+		}
+		if n.Neg {
+			return 1 - sel
+		}
+		return sel
+	case *expr.Bin:
+		if n.Op == expr.OpOr {
+			l := o.singlePredSelectivity(br, n.L, params)
+			r := o.singlePredSelectivity(br, n.R, params)
+			return clamp01(l + r - l*r)
+		}
+		if n.Op == expr.OpAnd {
+			return clamp01(o.singlePredSelectivity(br, n.L, params) * o.singlePredSelectivity(br, n.R, params))
+		}
+	}
+	return 1.0 / 3
+}
+
+// joinPredSelectivity estimates one join conjunct.
+func (o *Optimizer) joinPredSelectivity(qi *queryInfo, jp joinPred) float64 {
+	if jp.equi {
+		var lcs, rcs *stats.ColumnStats
+		for _, ri := range qi.rels {
+			if ri.rel.Table == nil {
+				continue
+			}
+			if jp.leftCol >= ri.offset && jp.leftCol < ri.offset+ri.width() {
+				lcs = ri.rel.Table.Stats.ColStats(jp.leftCol - ri.offset)
+			}
+			if jp.rightCol >= ri.offset && jp.rightCol < ri.offset+ri.width() {
+				rcs = ri.rel.Table.Stats.ColStats(jp.rightCol - ri.offset)
+			}
+		}
+		return stats.JoinSelectivity(lcs, rcs)
+	}
+	return 1.0 / 3
+}
+
+// cardOfSet returns the estimated cardinality of joining the relation set:
+// product of filtered base cards times the selectivity of every join
+// predicate fully contained in the set. This is order-independent, so all
+// plans for the same set agree (required for DP admissibility).
+func (o *Optimizer) cardOfSet(qi *queryInfo, set uint64) float64 {
+	card := 1.0
+	for i, ri := range qi.rels {
+		if set&(1<<uint(i)) != 0 {
+			card *= math.Max(ri.card, 1e-9)
+		}
+	}
+	for _, jp := range qi.preds {
+		if jp.mask&set == jp.mask {
+			card *= jp.sel
+		}
+	}
+	if card < 0 {
+		card = 0
+	}
+	return card
+}
+
+// statsFromEstimate builds the selectivity posterior used by Percentile
+// mode (indirection keeps the stats import in one place).
+func statsFromEstimate(sel, evidence float64) stats.SelectivityDistribution {
+	return stats.FromEstimate(sel, evidence)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// BaseRelsFromQuery converts a bound query block's relations.
+func BaseRelsFromQuery(q *plan.Query) []BaseRel {
+	out := make([]BaseRel, len(q.Rels))
+	for i, r := range q.Rels {
+		out[i] = BaseRelFromTable(r.Table, r.Alias)
+	}
+	return out
+}
+
+// BaseRelFromTable wraps a catalog table as an optimizable relation.
+func BaseRelFromTable(t *catalog.Table, alias string) BaseRel {
+	rows := float64(t.Heap.NumRows())
+	if t.Stats != nil && t.Stats.RowCount > 0 {
+		rows = t.Stats.RowCount
+	}
+	return BaseRel{
+		Alias:  alias,
+		Schema: t.Schema.WithTable(alias),
+		Table:  t,
+		Rows:   rows,
+		Pages:  float64(t.Heap.NumPages()),
+	}
+}
+
+// TempRel wraps materialized rows as an optimizable relation with exact
+// cardinality — the vehicle for progressive re-optimization.
+func TempRel(alias string, schema types.Schema, rows []types.Row) BaseRel {
+	return BaseRel{
+		Alias:  alias,
+		Schema: schema,
+		Temp:   rows,
+		Rows:   float64(len(rows)),
+		Pages:  math.Ceil(float64(len(rows)) / float64(storage.PageRows)),
+		Exact:  true,
+	}
+}

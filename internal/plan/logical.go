@@ -1,0 +1,588 @@
+// Package plan defines the logical query representation the binder produces
+// from the AST and the physical plan nodes the optimizer emits for the
+// executor. The logical form is a classic query block: a set of base
+// relations plus a conjunctive predicate over their concatenated schema,
+// with projection, aggregation, ordering and limits on top — the shape the
+// dynamic-programming join enumerator consumes.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"rqp/internal/catalog"
+	"rqp/internal/expr"
+	"rqp/internal/sql"
+	"rqp/internal/types"
+)
+
+// Rel is one base relation in a query block.
+type Rel struct {
+	Table  *catalog.Table
+	Alias  string
+	Offset int // column offset of this relation in the combined schema
+}
+
+// Width returns the number of columns the relation contributes.
+func (r Rel) Width() int { return len(r.Table.Schema) }
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func     string    // COUNT, SUM, AVG, MIN, MAX
+	Arg      expr.Expr // nil for COUNT(*)
+	Star     bool
+	Distinct bool
+	Name     string // display name
+}
+
+// OrderSpec is one sort key over an operator's output schema.
+type OrderSpec struct {
+	Col  int
+	Desc bool
+}
+
+// LeftJoin is an outer-join application appended after the optimized inner
+// core (outer joins are executed in syntax order, as many production
+// optimizers also restrict).
+type LeftJoin struct {
+	Rel Rel
+	On  expr.Expr // bound over combined schema including this relation
+}
+
+// Query is the bound logical query block.
+type Query struct {
+	Rels      []Rel       // inner-join relations, in FROM order
+	LeftJoins []LeftJoin  // outer joins, applied after the inner core
+	Conjuncts []expr.Expr // WHERE + inner ON factors over the combined schema
+	Combined  types.Schema
+
+	// Projection: expressions over either the combined schema (non-grouped)
+	// or over [group exprs..., agg results...] (grouped).
+	Projections []expr.Expr
+	ProjNames   []string
+
+	Grouped   bool
+	GroupBy   []expr.Expr // over combined schema
+	Aggs      []AggSpec
+	Having    expr.Expr // over [group..., aggs...]
+	Distinct  bool
+	OrderBy   []OrderSpec // over projection output
+	Limit     int         // -1 none
+	Offset    int
+	NumParams int
+}
+
+// RelIndexForColumn maps a combined-schema column index to its relation
+// position (inner relations only; -1 if the column belongs to a left join).
+func (q *Query) RelIndexForColumn(col int) int {
+	for i, r := range q.Rels {
+		if col >= r.Offset && col < r.Offset+r.Width() {
+			return i
+		}
+	}
+	return -1
+}
+
+// BindExpr resolves a standalone AST expression against a schema (used for
+// DML predicates and INSERT value lists).
+func BindExpr(e sql.Expr, schema types.Schema) (expr.Expr, error) {
+	b := &binder{}
+	return b.bindExpr(e, schema)
+}
+
+// Bind resolves a parsed SELECT against the catalog.
+func Bind(st *sql.SelectStmt, cat *catalog.Catalog) (*Query, error) {
+	b := &binder{cat: cat}
+	return b.bindSelect(st)
+}
+
+type binder struct {
+	cat       *catalog.Catalog
+	numParams int
+}
+
+func (b *binder) bindSelect(st *sql.SelectStmt) (*Query, error) {
+	if len(st.From) == 0 {
+		return nil, fmt.Errorf("plan: SELECT without FROM is not supported")
+	}
+	q := &Query{Limit: st.Limit, Offset: st.Offset, Distinct: st.Distinct}
+	seen := map[string]bool{}
+	addRel := func(tr sql.TableRef) (Rel, error) {
+		t, ok := b.cat.Table(tr.Name)
+		if !ok {
+			return Rel{}, fmt.Errorf("plan: unknown table %q", tr.Name)
+		}
+		name := strings.ToLower(tr.AliasOrName())
+		if seen[name] {
+			return Rel{}, fmt.Errorf("plan: duplicate relation name %q", tr.AliasOrName())
+		}
+		seen[name] = true
+		r := Rel{Table: t, Alias: tr.AliasOrName(), Offset: len(q.Combined)}
+		q.Combined = append(q.Combined, t.Schema.WithTable(r.Alias)...)
+		return r, nil
+	}
+	for _, tr := range st.From {
+		r, err := addRel(tr)
+		if err != nil {
+			return nil, err
+		}
+		q.Rels = append(q.Rels, r)
+	}
+	// Inner joins fold into the block; left joins stay ordered.
+	for _, jc := range st.Joins {
+		r, err := addRel(jc.Table)
+		if err != nil {
+			return nil, err
+		}
+		on, err := b.bindExpr(jc.On, q.Combined)
+		if err != nil {
+			return nil, err
+		}
+		if jc.Kind == "LEFT" {
+			q.LeftJoins = append(q.LeftJoins, LeftJoin{Rel: r, On: expr.Normalize(on)})
+			continue
+		}
+		q.Rels = append(q.Rels, r)
+		q.Conjuncts = append(q.Conjuncts, expr.Conjuncts(expr.Normalize(on))...)
+	}
+	if st.Where != nil {
+		w, err := b.bindExpr(st.Where, q.Combined)
+		if err != nil {
+			return nil, err
+		}
+		q.Conjuncts = append(q.Conjuncts, expr.Conjuncts(expr.Normalize(w))...)
+	}
+
+	// Grouping.
+	for _, g := range st.GroupBy {
+		ge, err := b.bindExpr(g, q.Combined)
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = append(q.GroupBy, ge)
+	}
+	hasAgg := false
+	for _, item := range st.Items {
+		if item.Star {
+			continue
+		}
+		if containsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	q.Grouped = len(q.GroupBy) > 0 || hasAgg || containsAggregate(st.Having)
+
+	if q.Grouped {
+		if err := b.bindGrouped(st, q); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := b.bindPlain(st, q); err != nil {
+			return nil, err
+		}
+	}
+
+	// ORDER BY binds against the projection output: match by alias/name or
+	// by equal expression text; integers are positional.
+	for _, oi := range st.OrderBy {
+		col, err := b.resolveOrderKey(oi.Expr, st, q)
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = append(q.OrderBy, OrderSpec{Col: col, Desc: oi.Desc})
+	}
+	q.NumParams = b.numParams
+	return q, nil
+}
+
+func (b *binder) bindPlain(st *sql.SelectStmt, q *Query) error {
+	for _, item := range st.Items {
+		if item.Star {
+			for i, c := range q.Combined {
+				if item.Table != "" && !strings.EqualFold(c.Table, item.Table) {
+					continue
+				}
+				q.Projections = append(q.Projections, &expr.Col{Index: i, Name: c.QualifiedName(), Typ: c.Kind})
+				q.ProjNames = append(q.ProjNames, c.Name)
+			}
+			continue
+		}
+		e, err := b.bindExpr(item.Expr, q.Combined)
+		if err != nil {
+			return err
+		}
+		q.Projections = append(q.Projections, e)
+		q.ProjNames = append(q.ProjNames, projName(item))
+	}
+	return nil
+}
+
+// bindGrouped binds a grouped query: projections and HAVING are rewritten
+// over the aggregate output schema [group exprs..., agg slots...].
+func (b *binder) bindGrouped(st *sql.SelectStmt, q *Query) error {
+	groupText := make(map[string]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		groupText[g.String()] = i
+	}
+	// rewrite maps an expression over the combined schema to one over the
+	// agg output schema, registering aggregates as it goes.
+	var rewrite func(e sql.Expr) (expr.Expr, error)
+	rewrite = func(e sql.Expr) (expr.Expr, error) {
+		if f, ok := e.(*sql.FuncExpr); ok && isAggName(f.Name) {
+			spec := AggSpec{Func: f.Name, Star: f.Star, Distinct: f.Distinct, Name: f.String()}
+			if !f.Star {
+				if len(f.Args) != 1 {
+					return nil, fmt.Errorf("plan: aggregate %s takes one argument", f.Name)
+				}
+				arg, err := b.bindExpr(f.Args[0], q.Combined)
+				if err != nil {
+					return nil, err
+				}
+				spec.Arg = arg
+			}
+			slot := len(q.GroupBy) + len(q.Aggs)
+			for i, existing := range q.Aggs {
+				if existing.Name == spec.Name {
+					slot = len(q.GroupBy) + i
+					spec = existing
+					break
+				}
+			}
+			if slot == len(q.GroupBy)+len(q.Aggs) {
+				q.Aggs = append(q.Aggs, spec)
+			}
+			kind := types.KindFloat
+			if spec.Func == "COUNT" {
+				kind = types.KindInt
+			}
+			return &expr.Col{Index: slot, Name: spec.Name, Typ: kind}, nil
+		}
+		// A non-aggregate expression must match a GROUP BY expression.
+		bound, err := b.bindExpr(e, q.Combined)
+		if err == nil {
+			if gi, ok := groupText[bound.String()]; ok {
+				return &expr.Col{Index: gi, Name: bound.String(), Typ: bound.Kind()}, nil
+			}
+		}
+		// Recurse through operators so that e.g. SUM(a)/COUNT(*) works.
+		switch n := e.(type) {
+		case *sql.BinExpr:
+			l, err := rewrite(n.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rewrite(n.R)
+			if err != nil {
+				return nil, err
+			}
+			op, err := binOp(n.Op)
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Bin{Op: op, L: l, R: r}, nil
+		case *sql.UnExpr:
+			inner, err := rewrite(n.E)
+			if err != nil {
+				return nil, err
+			}
+			op := expr.OpNeg
+			if n.Op == "NOT" {
+				op = expr.OpNot
+			}
+			return &expr.Un{Op: op, E: inner}, nil
+		case *sql.Lit:
+			return b.bindLit(n), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("plan: expression %s must appear in GROUP BY or be an aggregate", e)
+	}
+
+	for _, item := range st.Items {
+		if item.Star {
+			return fmt.Errorf("plan: SELECT * is not valid in a grouped query")
+		}
+		pe, err := rewrite(item.Expr)
+		if err != nil {
+			return err
+		}
+		q.Projections = append(q.Projections, pe)
+		q.ProjNames = append(q.ProjNames, projName(item))
+	}
+	if st.Having != nil {
+		h, err := rewrite(st.Having)
+		if err != nil {
+			return err
+		}
+		q.Having = h
+	}
+	return nil
+}
+
+func (b *binder) resolveOrderKey(e sql.Expr, st *sql.SelectStmt, q *Query) (int, error) {
+	// Positional: ORDER BY 2
+	if lit, ok := e.(*sql.Lit); ok && lit.Kind == "int" {
+		var n int
+		fmt.Sscanf(lit.Text, "%d", &n)
+		if n < 1 || n > len(q.Projections) {
+			return 0, fmt.Errorf("plan: ORDER BY position %d out of range", n)
+		}
+		return n - 1, nil
+	}
+	// By alias.
+	if cr, ok := e.(*sql.ColRef); ok && cr.Table == "" {
+		for i, name := range q.ProjNames {
+			if strings.EqualFold(name, cr.Name) {
+				return i, nil
+			}
+		}
+	}
+	// By matching expression text against projections.
+	text := e.String()
+	for i, item := range st.Items {
+		if item.Expr != nil && item.Expr.String() == text {
+			return i, nil
+		}
+	}
+	// By binding and matching the bound form.
+	if !q.Grouped {
+		bound, err := b.bindExpr(e, q.Combined)
+		if err == nil {
+			for i, p := range q.Projections {
+				if p.String() == bound.String() {
+					return i, nil
+				}
+			}
+		}
+	}
+	return 0, fmt.Errorf("plan: ORDER BY key %s does not match any output column", e)
+}
+
+func projName(item sql.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if cr, ok := item.Expr.(*sql.ColRef); ok {
+		return cr.Name
+	}
+	return item.Expr.String()
+}
+
+func isAggName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+func containsAggregate(e sql.Expr) bool {
+	switch n := e.(type) {
+	case nil:
+		return false
+	case *sql.FuncExpr:
+		if isAggName(n.Name) {
+			return true
+		}
+		for _, a := range n.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *sql.BinExpr:
+		return containsAggregate(n.L) || containsAggregate(n.R)
+	case *sql.UnExpr:
+		return containsAggregate(n.E)
+	case *sql.InExpr:
+		if containsAggregate(n.E) {
+			return true
+		}
+		for _, a := range n.List {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *sql.BetweenExpr:
+		return containsAggregate(n.E) || containsAggregate(n.Lo) || containsAggregate(n.Hi)
+	case *sql.IsNullExpr:
+		return containsAggregate(n.E)
+	case *sql.LikeExpr:
+		return containsAggregate(n.E)
+	}
+	return false
+}
+
+func binOp(op string) (expr.Op, error) {
+	switch op {
+	case "=":
+		return expr.OpEQ, nil
+	case "<>":
+		return expr.OpNE, nil
+	case "<":
+		return expr.OpLT, nil
+	case "<=":
+		return expr.OpLE, nil
+	case ">":
+		return expr.OpGT, nil
+	case ">=":
+		return expr.OpGE, nil
+	case "+":
+		return expr.OpAdd, nil
+	case "-":
+		return expr.OpSub, nil
+	case "*":
+		return expr.OpMul, nil
+	case "/":
+		return expr.OpDiv, nil
+	case "%":
+		return expr.OpMod, nil
+	case "AND":
+		return expr.OpAnd, nil
+	case "OR":
+		return expr.OpOr, nil
+	}
+	return expr.OpInvalid, fmt.Errorf("plan: unknown operator %q", op)
+}
+
+func (b *binder) bindLit(l *sql.Lit) expr.Expr {
+	switch l.Kind {
+	case "int":
+		var n int64
+		fmt.Sscanf(l.Text, "%d", &n)
+		return &expr.Const{V: types.Int(n)}
+	case "float":
+		var f float64
+		fmt.Sscanf(l.Text, "%g", &f)
+		return &expr.Const{V: types.Float(f)}
+	case "string":
+		return &expr.Const{V: types.Str(l.Text)}
+	case "bool":
+		return &expr.Const{V: types.Bool(l.Bool)}
+	default:
+		return &expr.Const{V: types.Null()}
+	}
+}
+
+// bindExpr resolves an AST expression over the given schema.
+func (b *binder) bindExpr(e sql.Expr, schema types.Schema) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *sql.ColRef:
+		idx := schema.ColIndex(n.Table, n.Name)
+		switch idx {
+		case -1:
+			return nil, fmt.Errorf("plan: unknown column %s", n)
+		case -2:
+			return nil, fmt.Errorf("plan: ambiguous column %s", n)
+		}
+		return &expr.Col{Index: idx, Name: schema[idx].QualifiedName(), Typ: schema[idx].Kind}, nil
+	case *sql.Lit:
+		return b.bindLit(n), nil
+	case *sql.ParamRef:
+		if n.Index >= b.numParams {
+			b.numParams = n.Index + 1
+		}
+		return &expr.Param{Index: n.Index}, nil
+	case *sql.BinExpr:
+		l, err := b.bindExpr(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindExpr(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op, err := binOp(n.Op)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Bin{Op: op, L: l, R: r}, nil
+	case *sql.UnExpr:
+		inner, err := b.bindExpr(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "NOT" {
+			return &expr.Un{Op: expr.OpNot, E: inner}, nil
+		}
+		return &expr.Un{Op: expr.OpNeg, E: inner}, nil
+	case *sql.InExpr:
+		if n.Sub != nil {
+			return nil, fmt.Errorf("plan: IN subquery must be expanded before binding (engine-level late binding)")
+		}
+		inner, err := b.bindExpr(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]expr.Expr, len(n.List))
+		for i, item := range n.List {
+			le, err := b.bindExpr(item, schema)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = le
+		}
+		return &expr.In{E: inner, List: list, Neg: n.Neg}, nil
+	case *sql.BetweenExpr:
+		inner, err := b.bindExpr(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bindExpr(n.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bindExpr(n.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		// BETWEEN canonicalizes to two comparisons so that equivalent
+		// spellings plan identically.
+		rng := &expr.Bin{Op: expr.OpAnd,
+			L: &expr.Bin{Op: expr.OpGE, L: inner, R: lo},
+			R: &expr.Bin{Op: expr.OpLE, L: inner, R: hi}}
+		if n.Neg {
+			return &expr.Un{Op: expr.OpNot, E: rng}, nil
+		}
+		return rng, nil
+	case *sql.IsNullExpr:
+		inner, err := b.bindExpr(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: inner, Neg: n.Neg}, nil
+	case *sql.LikeExpr:
+		inner, err := b.bindExpr(n.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Like{E: inner, Pattern: n.Pattern, Neg: n.Neg}, nil
+	case *sql.FuncExpr:
+		if isAggName(n.Name) {
+			return nil, fmt.Errorf("plan: aggregate %s not allowed here", n.Name)
+		}
+		if n.Name == "DATE" {
+			if len(n.Args) != 1 {
+				return nil, fmt.Errorf("plan: DATE takes one argument")
+			}
+			arg, err := b.bindExpr(n.Args[0], schema)
+			if err != nil {
+				return nil, err
+			}
+			if c, ok := arg.(*expr.Const); ok {
+				return &expr.Const{V: types.Date(c.V.AsInt())}, nil
+			}
+			return nil, fmt.Errorf("plan: DATE requires a constant argument")
+		}
+		args := make([]expr.Expr, len(n.Args))
+		for i, a := range n.Args {
+			ae, err := b.bindExpr(a, schema)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ae
+		}
+		return &expr.Func{Name: n.Name, Args: args}, nil
+	}
+	return nil, fmt.Errorf("plan: cannot bind expression %T", e)
+}

@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"rqp/internal/catalog"
+	"rqp/internal/expr"
+	"rqp/internal/types"
+)
+
+// JoinAlg enumerates the physical join repertoire.
+type JoinAlg uint8
+
+// Join algorithms. GJoin is Graefe's generalized join, a single algorithm
+// intended to replace the other three and thereby eliminate mistaken
+// algorithm choices.
+const (
+	JoinHash JoinAlg = iota
+	JoinMerge
+	JoinNL
+	JoinIndexNL
+	JoinSymHash
+	JoinGeneral
+)
+
+// String returns the algorithm name.
+func (a JoinAlg) String() string {
+	switch a {
+	case JoinHash:
+		return "HashJoin"
+	case JoinMerge:
+		return "MergeJoin"
+	case JoinNL:
+		return "NestedLoopJoin"
+	case JoinIndexNL:
+		return "IndexNLJoin"
+	case JoinSymHash:
+		return "SymHashJoin"
+	case JoinGeneral:
+		return "GJoin"
+	}
+	return "Join?"
+}
+
+// JoinType is inner or left outer.
+type JoinType uint8
+
+// Join types.
+const (
+	Inner JoinType = iota
+	LeftOuter
+)
+
+// Props carries the optimizer's annotations on a node plus, after
+// execution, the observed actual cardinality (the raw material for every
+// cardinality-error robustness metric).
+type Props struct {
+	EstRows    float64
+	EstCost    float64 // cumulative cost including children
+	ActualRows float64 // -1 until executed
+	// Signature identifies the logical subexpression this node computes,
+	// used by LEO feedback and POP checkpoints.
+	Signature string
+	// Validity is the cardinality range within which this node's parent
+	// plan choice remains optimal (POP validity range); zero range = unset.
+	ValidityLo, ValidityHi float64
+}
+
+// Node is a physical plan operator description.
+type Node interface {
+	Schema() types.Schema
+	Children() []Node
+	Label() string
+	Props() *Props
+}
+
+// Base provides shared Node plumbing.
+type Base struct {
+	Out   types.Schema
+	Kids  []Node
+	Prop  Props
+	Title string
+}
+
+// Schema implements Node.
+func (b *Base) Schema() types.Schema { return b.Out }
+
+// Children implements Node.
+func (b *Base) Children() []Node { return b.Kids }
+
+// Props implements Node.
+func (b *Base) Props() *Props { return &b.Prop }
+
+// Label implements Node.
+func (b *Base) Label() string { return b.Title }
+
+// ScanNode is a full table scan with an optional pushed-down filter over the
+// table's schema.
+type ScanNode struct {
+	Base
+	Table  *catalog.Table
+	Alias  string
+	Filter expr.Expr // over table schema; nil = none
+}
+
+// IndexScanNode is a B+ tree range scan. Bounds apply to the index key
+// prefix; Residual filters rows after the heap fetch.
+type IndexScanNode struct {
+	Base
+	Table    *catalog.Table
+	Alias    string
+	Index    *catalog.Index
+	LoKey    []types.Value
+	LoIncl   bool
+	LoSet    bool
+	HiKey    []types.Value
+	HiIncl   bool
+	HiSet    bool
+	Residual expr.Expr // over table schema
+}
+
+// JoinNode joins two subplans. LeftKeys/RightKeys index into the respective
+// child schemas (equi-join columns); Residual is evaluated over the
+// concatenated output schema.
+type JoinNode struct {
+	Base
+	Alg       JoinAlg
+	Type      JoinType
+	LeftKeys  []int
+	RightKeys []int
+	Residual  expr.Expr
+}
+
+// Left returns the left child.
+func (j *JoinNode) Left() Node { return j.Kids[0] }
+
+// Right returns the right child.
+func (j *JoinNode) Right() Node { return j.Kids[1] }
+
+// IndexJoinNode is an index nested-loop join: for each left row, probe the
+// given index of the right base table.
+type IndexJoinNode struct {
+	Base
+	Type     JoinType
+	Table    *catalog.Table
+	Alias    string
+	Index    *catalog.Index
+	LeftKeys []int // columns of the left child matched to the index prefix
+	Residual expr.Expr
+}
+
+// Left returns the outer child.
+func (j *IndexJoinNode) Left() Node { return j.Kids[0] }
+
+// TempScanNode scans a materialized in-memory relation (a progressive
+// re-optimization intermediate).
+type TempScanNode struct {
+	Base
+	Alias  string
+	Rows   []types.Row
+	Filter expr.Expr
+}
+
+// FilterNode applies a predicate over its child's schema.
+type FilterNode struct {
+	Base
+	Pred expr.Expr
+}
+
+// ProjectNode computes expressions over its child's schema.
+type ProjectNode struct {
+	Base
+	Exprs []expr.Expr
+}
+
+// SortNode sorts by the given keys (over its child's schema). MemBudget
+// rows may be held in memory; beyond that the sort spills to runs.
+type SortNode struct {
+	Base
+	Keys []OrderSpec
+}
+
+// AggAlg selects hash or stream (sorted-input) aggregation.
+type AggAlg uint8
+
+// Aggregation algorithms.
+const (
+	AggHash AggAlg = iota
+	AggStream
+)
+
+// AggNode groups and aggregates. Output schema: group exprs then agg slots.
+type AggNode struct {
+	Base
+	Alg        AggAlg
+	GroupExprs []expr.Expr
+	Aggs       []AggSpec
+}
+
+// DistinctNode removes duplicate rows.
+type DistinctNode struct{ Base }
+
+// LimitNode caps output at N rows after skipping Skip.
+type LimitNode struct {
+	Base
+	N    int
+	Skip int
+}
+
+// MaterializeNode buffers its child's full output; POP re-optimization
+// reuses materialized intermediates instead of discarding work.
+type MaterializeNode struct{ Base }
+
+// CheckNode is the POP CHECK operator: it counts rows flowing through and
+// signals re-optimization when the count leaves [Lo, Hi].
+type CheckNode struct {
+	Base
+	Lo, Hi float64
+}
+
+// Explain renders the plan tree with estimates, indented.
+func Explain(n Node) string {
+	var sb strings.Builder
+	explain(&sb, n, 0, false)
+	return sb.String()
+}
+
+// ExplainActual renders the plan with estimated and actual cardinalities.
+func ExplainActual(n Node) string {
+	var sb strings.Builder
+	explain(&sb, n, 0, true)
+	return sb.String()
+}
+
+func explain(sb *strings.Builder, n Node, depth int, actual bool) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	p := n.Props()
+	if actual && p.ActualRows >= 0 {
+		fmt.Fprintf(sb, "%s (est=%.0f actual=%.0f cost=%.1f)\n", n.Label(), p.EstRows, p.ActualRows, p.EstCost)
+	} else {
+		fmt.Fprintf(sb, "%s (rows=%.0f cost=%.1f)\n", n.Label(), p.EstRows, p.EstCost)
+	}
+	for _, c := range n.Children() {
+		explain(sb, c, depth+1, actual)
+	}
+}
+
+// Walk visits the plan tree pre-order.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// PlanSignature returns a canonical string identifying the plan's structure
+// (operators, join order and algorithms) without estimates — used to detect
+// plan changes across equivalent queries and plan-diagram cells.
+func PlanSignature(n Node) string {
+	var sb strings.Builder
+	sig(&sb, n)
+	return sb.String()
+}
+
+func sig(sb *strings.Builder, n Node) {
+	sb.WriteString(n.Label())
+	kids := n.Children()
+	if len(kids) > 0 {
+		sb.WriteByte('[')
+		for i, c := range kids {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sig(sb, c)
+		}
+		sb.WriteByte(']')
+	}
+}

@@ -1,0 +1,314 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is any parsed statement.
+type Stmt interface{ stmt() }
+
+// Expr is an unbound AST expression (column names unresolved).
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColRef is a possibly qualified column name.
+type ColRef struct{ Table, Name string }
+
+func (*ColRef) exprNode() {}
+
+// String implements Expr.
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Lit is a literal: integer, float, string, bool or NULL.
+type Lit struct {
+	Kind string // "int" | "float" | "string" | "bool" | "null"
+	Text string // source text for numerics/strings
+	Bool bool
+}
+
+func (*Lit) exprNode() {}
+
+// String implements Expr.
+func (l *Lit) String() string {
+	switch l.Kind {
+	case "string":
+		return "'" + l.Text + "'"
+	case "bool":
+		if l.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	case "null":
+		return "NULL"
+	}
+	return l.Text
+}
+
+// ParamRef is a '?' placeholder; Index assigned in source order.
+type ParamRef struct{ Index int }
+
+func (*ParamRef) exprNode() {}
+
+// String implements Expr.
+func (p *ParamRef) String() string { return "?" }
+
+// BinExpr is a binary operation; Op holds the SQL spelling (=, <, AND, +, ...).
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinExpr) exprNode() {}
+
+// String implements Expr.
+func (b *BinExpr) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// UnExpr is NOT or unary minus.
+type UnExpr struct {
+	Op string // "NOT" | "-"
+	E  Expr
+}
+
+func (*UnExpr) exprNode() {}
+
+// String implements Expr.
+func (u *UnExpr) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.E) }
+
+// InExpr is E [NOT] IN (list) or E [NOT] IN (subquery). Sub, when set, is
+// an uncorrelated subquery the engine expands into a literal list before
+// binding (late binding).
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Sub  *SelectStmt
+	Neg  bool
+}
+
+func (*InExpr) exprNode() {}
+
+// String implements Expr.
+func (in *InExpr) String() string {
+	neg := ""
+	if in.Neg {
+		neg = " NOT"
+	}
+	if in.Sub != nil {
+		return fmt.Sprintf("(%s%s IN (<subquery>))", in.E, neg)
+	}
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("(%s%s IN (%s))", in.E, neg, strings.Join(parts, ", "))
+}
+
+// BetweenExpr is E [NOT] BETWEEN Lo AND Hi.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Neg       bool
+}
+
+func (*BetweenExpr) exprNode() {}
+
+// String implements Expr.
+func (b *BetweenExpr) String() string {
+	neg := ""
+	if b.Neg {
+		neg = " NOT"
+	}
+	return fmt.Sprintf("(%s%s BETWEEN %s AND %s)", b.E, neg, b.Lo, b.Hi)
+}
+
+// IsNullExpr is E IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Neg bool
+}
+
+func (*IsNullExpr) exprNode() {}
+
+// String implements Expr.
+func (n *IsNullExpr) String() string {
+	if n.Neg {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
+}
+
+// LikeExpr is E [NOT] LIKE 'pattern'.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Neg     bool
+}
+
+func (*LikeExpr) exprNode() {}
+
+// String implements Expr.
+func (l *LikeExpr) String() string {
+	neg := ""
+	if l.Neg {
+		neg = " NOT"
+	}
+	return fmt.Sprintf("(%s%s LIKE '%s')", l.E, neg, l.Pattern)
+}
+
+// FuncExpr is a scalar or aggregate function call. Star marks COUNT(*);
+// Distinct marks AGG(DISTINCT expr).
+type FuncExpr struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*FuncExpr) exprNode() {}
+
+// String implements Expr.
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", f.Name, d, strings.Join(parts, ", "))
+}
+
+// SelectItem is one projection: expression with optional alias, or * / t.*.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool   // SELECT *
+	Table string // SELECT t.* when set with Star
+}
+
+// TableRef is one FROM item with optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// AliasOrName returns the effective relation name.
+func (t TableRef) AliasOrName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is an explicit JOIN ... ON attached after the first FROM item.
+type JoinClause struct {
+	Kind  string // "INNER" | "LEFT"
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef   // comma-separated relations
+	Joins    []JoinClause // explicit JOINs
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = none
+	Offset   int
+}
+
+func (*SelectStmt) stmt() {}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string
+}
+
+// CreateTableStmt is CREATE TABLE t (col type, ...).
+type CreateTableStmt struct {
+	Table string
+	Cols  []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON t (cols).
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Cols   []string
+	Unique bool
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct{ Table string }
+
+func (*DropTableStmt) stmt() {}
+
+// DropIndexStmt is DROP INDEX name ON t.
+type DropIndexStmt struct {
+	Name  string
+	Table string
+}
+
+func (*DropIndexStmt) stmt() {}
+
+// AnalyzeStmt is ANALYZE t.
+type AnalyzeStmt struct{ Table string }
+
+func (*AnalyzeStmt) stmt() {}
+
+// ExplainStmt wraps another statement.
+type ExplainStmt struct{ Inner Stmt }
+
+func (*ExplainStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// UpdateStmt is UPDATE t SET col = expr, ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   map[string]Expr
+	Order []string // column order of SET clauses, for determinism
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}

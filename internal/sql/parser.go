@@ -1,0 +1,812 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(input string) (Stmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.cur().Text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks      []Token
+	pos       int
+	numParams int
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	return Token{}, p.errorf("expected %q, found %q", text, p.cur().Text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(TokKeyword, "EXPLAIN"):
+		p.pos++
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Inner: inner}, nil
+	case p.at(TokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(TokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(TokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(TokKeyword, "DROP"):
+		return p.parseDrop()
+	case p.at(TokKeyword, "ANALYZE"):
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeStmt{Table: name}, nil
+	case p.at(TokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(TokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	}
+	return nil, p.errorf("expected a statement, found %q", p.cur().Text)
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().Kind == TokIdent {
+		t := p.cur()
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errorf("expected identifier, found %q", p.cur().Text)
+}
+
+// ---------- SELECT ----------
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{Limit: -1}
+	st.Distinct = p.accept(TokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			st.From = append(st.From, tr)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		for {
+			var kind string
+			switch {
+			case p.at(TokKeyword, "JOIN"):
+				kind = "INNER"
+				p.pos++
+			case p.at(TokKeyword, "INNER"):
+				p.pos++
+				if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "INNER"
+			case p.at(TokKeyword, "LEFT"):
+				p.pos++
+				p.accept(TokKeyword, "OUTER")
+				if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "LEFT"
+			default:
+				kind = ""
+			}
+			if kind == "" {
+				break
+			}
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Joins = append(st.Joins, JoinClause{Kind: kind, Table: tr, On: on})
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = h
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		n, err := p.intLiteral()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = n
+		if p.accept(TokKeyword, "OFFSET") {
+			o, err := p.intLiteral()
+			if err != nil {
+				return nil, err
+			}
+			st.Offset = o
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) intLiteral() (int, error) {
+	t := p.cur()
+	if t.Kind != TokNumber {
+		return 0, p.errorf("expected integer, found %q", t.Text)
+	}
+	p.pos++
+	n, err := strconv.Atoi(t.Text)
+	if err != nil {
+		return 0, p.errorf("bad integer %q", t.Text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form
+	if p.cur().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokSymbol && p.toks[p.pos+2].Text == "*" {
+		table := p.cur().Text
+		p.pos += 3
+		return SelectItem{Star: true, Table: table}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		item.Alias = p.cur().Text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		tr.Alias = p.cur().Text
+		p.pos++
+	}
+	return tr, nil
+}
+
+// ---------- expressions (precedence climbing) ----------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	neg := false
+	if p.at(TokKeyword, "NOT") {
+		// lookahead for NOT IN / NOT BETWEEN / NOT LIKE
+		next := p.toks[p.pos+1]
+		if next.Kind == TokKeyword && (next.Text == "IN" || next.Text == "BETWEEN" || next.Text == "LIKE") {
+			p.pos++
+			neg = true
+		}
+	}
+	switch {
+	case p.accept(TokKeyword, "IN"):
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.at(TokKeyword, "SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{E: l, Sub: sub, Neg: neg}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, List: list, Neg: neg}, nil
+	case p.accept(TokKeyword, "BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Neg: neg}, nil
+	case p.accept(TokKeyword, "LIKE"):
+		t := p.cur()
+		if t.Kind != TokString {
+			return nil, p.errorf("LIKE requires a string pattern")
+		}
+		p.pos++
+		return &LikeExpr{E: l, Pattern: t.Text, Neg: neg}, nil
+	case p.accept(TokKeyword, "IS"):
+		n := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Neg: n}, nil
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = "+"
+		case p.accept(TokSymbol, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = "*"
+		case p.accept(TokSymbol, "/"):
+			op = "/"
+		case p.accept(TokSymbol, "%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		if strings.Contains(t.Text, ".") {
+			return &Lit{Kind: "float", Text: t.Text}, nil
+		}
+		return &Lit{Kind: "int", Text: t.Text}, nil
+	case TokString:
+		p.pos++
+		return &Lit{Kind: "string", Text: t.Text}, nil
+	case TokParam:
+		p.pos++
+		e := &ParamRef{Index: p.numParams}
+		p.numParams++
+		return e, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Lit{Kind: "null"}, nil
+		case "TRUE":
+			p.pos++
+			return &Lit{Kind: "bool", Bool: true}, nil
+		case "FALSE":
+			p.pos++
+			return &Lit{Kind: "bool", Bool: false}, nil
+		case "DATE":
+			// DATE(n) literal: days since epoch
+			p.pos++
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &FuncExpr{Name: "DATE", Args: []Expr{arg}}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.pos++
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			if t.Text == "COUNT" && p.accept(TokSymbol, "*") {
+				if _, err := p.expect(TokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return &FuncExpr{Name: "COUNT", Star: true}, nil
+			}
+			distinct := p.accept(TokKeyword, "DISTINCT")
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &FuncExpr{Name: t.Text, Args: []Expr{arg}, Distinct: distinct}, nil
+		}
+		return nil, p.errorf("unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		// function call, qualified column, or bare column
+		if p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "(" {
+			name := strings.ToUpper(t.Text)
+			p.pos += 2
+			var args []Expr
+			if !p.at(TokSymbol, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &FuncExpr{Name: name, Args: args}, nil
+		}
+		p.pos++
+		if p.accept(TokSymbol, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: t.Text, Name: col}, nil
+		}
+		return &ColRef{Name: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q in expression", t.Text)
+}
+
+// ---------- DDL / DML ----------
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.pos++ // INSERT
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	if p.accept(TokSymbol, "(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.pos++ // CREATE
+	unique := p.accept(TokKeyword, "UNIQUE")
+	switch {
+	case p.accept(TokKeyword, "TABLE"):
+		if unique {
+			return nil, p.errorf("UNIQUE TABLE is not valid")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		st := &CreateTableStmt{Table: name}
+		for {
+			cn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			var tn string
+			if p.cur().Kind == TokIdent {
+				tn = p.cur().Text
+				p.pos++
+			} else if p.cur().Kind == TokKeyword && p.cur().Text == "DATE" {
+				tn = "DATE"
+				p.pos++
+			} else {
+				return nil, p.errorf("expected type name for column %q", cn)
+			}
+			st.Cols = append(st.Cols, ColumnDef{Name: cn, Type: tn})
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.accept(TokKeyword, "INDEX"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		st := &CreateIndexStmt{Name: name, Table: table, Unique: unique}
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	return nil, p.errorf("expected TABLE or INDEX after CREATE")
+}
+
+func (p *parser) parseDrop() (Stmt, error) {
+	p.pos++ // DROP
+	if p.accept(TokKeyword, "TABLE") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Table: name}, nil
+	}
+	if _, err := p.expect(TokKeyword, "INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropIndexStmt{Name: name, Table: table}, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	p.pos++ // DELETE
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	p.pos++ // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: table, Set: map[string]Expr{}}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set[strings.ToLower(col)] = e
+		st.Order = append(st.Order, strings.ToLower(col))
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}

@@ -1,0 +1,323 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		t.Fatalf("parse %q: got %T", q, st)
+	}
+	return sel
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, 'it''s' FROM t WHERE x >= 1.5 -- comment\n AND y != 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.Text)
+	}
+	joined := strings.Join(texts, "|")
+	if !strings.Contains(joined, "it's") {
+		t.Errorf("escaped quote not handled: %s", joined)
+	}
+	if !strings.Contains(joined, ">=") || !strings.Contains(joined, "<>") {
+		t.Errorf("operators not lexed: %s", joined)
+	}
+	if strings.Contains(joined, "comment") {
+		t.Error("comment not skipped")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'open"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("SELECT a # b"); err == nil {
+		t.Error("illegal char should fail")
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT a, b AS bee FROM t WHERE a = 1")
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "bee" {
+		t.Errorf("items wrong: %+v", sel.Items)
+	}
+	if len(sel.From) != 1 || sel.From[0].Name != "t" {
+		t.Errorf("from wrong: %+v", sel.From)
+	}
+	if sel.Where == nil {
+		t.Error("where missing")
+	}
+}
+
+func TestParseStarAndQualifiedStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t")
+	if !sel.Items[0].Star {
+		t.Error("star not parsed")
+	}
+	sel2 := mustSelect(t, "SELECT t.* FROM t")
+	if !sel2.Items[0].Star || sel2.Items[0].Table != "t" {
+		t.Errorf("qualified star wrong: %+v", sel2.Items[0])
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustSelect(t, `SELECT o.id FROM orders o
+		JOIN customer c ON o.cid = c.id
+		LEFT JOIN nation n ON c.nid = n.id
+		WHERE c.name = 'x'`)
+	if len(sel.Joins) != 2 {
+		t.Fatalf("joins = %d", len(sel.Joins))
+	}
+	if sel.Joins[0].Kind != "INNER" || sel.Joins[1].Kind != "LEFT" {
+		t.Errorf("join kinds wrong: %+v", sel.Joins)
+	}
+	if sel.From[0].Alias != "o" || sel.Joins[0].Table.AliasOrName() != "c" {
+		t.Errorf("aliases wrong")
+	}
+}
+
+func TestParseImplicitJoinList(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 FROM a, b, c WHERE a.x = b.x AND b.y = c.y")
+	if len(sel.From) != 3 {
+		t.Errorf("from list = %d", len(sel.From))
+	}
+}
+
+func TestParseGroupHavingOrderLimit(t *testing.T) {
+	sel := mustSelect(t, `SELECT g, COUNT(*), SUM(v) AS s FROM t
+		GROUP BY g HAVING COUNT(*) > 2
+		ORDER BY s DESC, g ASC LIMIT 10 OFFSET 5`)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group/having wrong")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order wrong: %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 || sel.Offset != 5 {
+		t.Errorf("limit/offset wrong: %d %d", sel.Limit, sel.Offset)
+	}
+	f, ok := sel.Items[1].Expr.(*FuncExpr)
+	if !ok || f.Name != "COUNT" || !f.Star {
+		t.Errorf("COUNT(*) wrong: %+v", sel.Items[1].Expr)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	sel := mustSelect(t, `SELECT 1 FROM t WHERE a IN (1, 2, 3)
+		AND b NOT IN (4) AND c BETWEEN 1 AND 10 AND d NOT BETWEEN 2 AND 3
+		AND e LIKE 'x%' AND f NOT LIKE '_y' AND g IS NULL AND h IS NOT NULL`)
+	s := sel.Where.String()
+	for _, want := range []string{"IN (1, 2, 3)", "NOT IN (4)", "BETWEEN 1 AND 10",
+		"NOT BETWEEN 2 AND 3", "LIKE 'x%'", "NOT LIKE '_y'", "IS NULL", "IS NOT NULL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %s", want, s)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	// AND binds tighter: (a=1) OR ((b=2) AND (c=3))
+	top, ok := sel.Where.(*BinExpr)
+	if !ok || top.Op != "OR" {
+		t.Fatalf("top op wrong: %s", sel.Where)
+	}
+	sel2 := mustSelect(t, "SELECT 2 + 3 * 4 FROM t")
+	if got := sel2.Items[0].Expr.String(); got != "(2 + (3 * 4))" {
+		t.Errorf("arith precedence wrong: %s", got)
+	}
+	sel3 := mustSelect(t, "SELECT (2 + 3) * 4 FROM t")
+	if got := sel3.Items[0].Expr.String(); got != "((2 + 3) * 4)" {
+		t.Errorf("parens wrong: %s", got)
+	}
+}
+
+func TestParseNotPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 FROM t WHERE NOT a = 1 AND b = 2")
+	top, ok := sel.Where.(*BinExpr)
+	if !ok || top.Op != "AND" {
+		t.Fatalf("NOT should bind tighter than AND: %s", sel.Where)
+	}
+	if _, ok := top.L.(*UnExpr); !ok {
+		t.Errorf("left side should be NOT expr: %s", top.L)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 FROM t WHERE a >= ? AND a <= ?")
+	n := 0
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *BinExpr:
+			walk(x.L)
+			walk(x.R)
+		case *ParamRef:
+			if x.Index != n {
+				t.Errorf("param index %d, want %d", x.Index, n)
+			}
+			n++
+		}
+	}
+	walk(sel.Where)
+	if n != 2 {
+		t.Errorf("found %d params", n)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Cols) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("insert wrong: %+v", ins)
+	}
+	st2, err := Parse("INSERT INTO t VALUES (1, NULL, TRUE, -2.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.(*InsertStmt).Rows[0]) != 4 {
+		t.Error("insert without cols wrong")
+	}
+}
+
+func TestParseCreateTableAndIndex(t *testing.T) {
+	st, err := Parse("CREATE TABLE t (id int, name varchar, price float, d date)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if len(ct.Cols) != 4 || ct.Cols[3].Type != "DATE" {
+		t.Errorf("create table wrong: %+v", ct)
+	}
+	st2, err := Parse("CREATE UNIQUE INDEX i ON t (id, name)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st2.(*CreateIndexStmt)
+	if !ci.Unique || ci.Table != "t" || len(ci.Cols) != 2 {
+		t.Errorf("create index wrong: %+v", ci)
+	}
+	st3, err := Parse("DROP INDEX i ON t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di := st3.(*DropIndexStmt); di.Name != "i" || di.Table != "t" {
+		t.Errorf("drop index wrong: %+v", di)
+	}
+}
+
+func TestParseExplainAnalyzeDeleteUpdate(t *testing.T) {
+	st, err := Parse("EXPLAIN SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*ExplainStmt).Inner.(*SelectStmt); !ok {
+		t.Error("explain inner wrong")
+	}
+	st2, err := Parse("ANALYZE t")
+	if err != nil || st2.(*AnalyzeStmt).Table != "t" {
+		t.Errorf("analyze wrong: %v %v", st2, err)
+	}
+	st3, err := Parse("DELETE FROM t WHERE a = 1")
+	if err != nil || st3.(*DeleteStmt).Where == nil {
+		t.Errorf("delete wrong: %v %v", st3, err)
+	}
+	st4, err := Parse("UPDATE t SET a = 2, b = b + 1 WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st4.(*UpdateStmt)
+	if len(up.Set) != 2 || up.Order[0] != "a" || up.Where == nil {
+		t.Errorf("update wrong: %+v", up)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC 1",
+		"SELECT FROM t",
+		"SELECT 1 FROM",
+		"SELECT 1 FROM t WHERE",
+		"SELECT 1 FROM t GROUP",
+		"INSERT INTO",
+		"CREATE TABLE t",
+		"CREATE UNIQUE TABLE t (a int)",
+		"SELECT 1 FROM t LIMIT x",
+		"SELECT 1 FROM t; SELECT 2",
+		"SELECT a LIKE 5 FROM t",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT 1 FROM t;"); err != nil {
+		t.Errorf("trailing semicolon should parse: %v", err)
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	sel := mustSelect(t, "SELECT COUNT(DISTINCT a), SUM(DISTINCT b) FROM t")
+	f0 := sel.Items[0].Expr.(*FuncExpr)
+	f1 := sel.Items[1].Expr.(*FuncExpr)
+	if !f0.Distinct || f0.Name != "COUNT" {
+		t.Errorf("COUNT(DISTINCT) wrong: %+v", f0)
+	}
+	if !f1.Distinct || f1.Name != "SUM" {
+		t.Errorf("SUM(DISTINCT) wrong: %+v", f1)
+	}
+	if !strings.Contains(f0.String(), "DISTINCT") {
+		t.Errorf("render wrong: %s", f0)
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE b > 3)")
+	in, ok := sel.Where.(*InExpr)
+	if !ok || in.Sub == nil || in.Neg {
+		t.Fatalf("IN subquery wrong: %+v", sel.Where)
+	}
+	if in.Sub.Where == nil || len(in.Sub.Items) != 1 {
+		t.Errorf("subquery body wrong: %+v", in.Sub)
+	}
+	sel2 := mustSelect(t, "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)")
+	in2 := sel2.Where.(*InExpr)
+	if !in2.Neg || in2.Sub == nil {
+		t.Errorf("NOT IN subquery wrong: %+v", in2)
+	}
+	if !strings.Contains(in2.String(), "<subquery>") {
+		t.Errorf("render wrong: %s", in2)
+	}
+	if _, err := Parse("SELECT a FROM t WHERE a IN (SELECT b FROM u"); err == nil {
+		t.Error("unterminated subquery should fail")
+	}
+}
+
+func TestParseDateLiteralAndFunc(t *testing.T) {
+	sel := mustSelect(t, "SELECT ABS(x), DATE(100) FROM t WHERE d < DATE(200)")
+	if f, ok := sel.Items[0].Expr.(*FuncExpr); !ok || f.Name != "ABS" {
+		t.Errorf("func parse wrong: %+v", sel.Items[0].Expr)
+	}
+	if f, ok := sel.Items[1].Expr.(*FuncExpr); !ok || f.Name != "DATE" {
+		t.Errorf("date parse wrong: %+v", sel.Items[1].Expr)
+	}
+}

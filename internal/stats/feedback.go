@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// FeedbackStore is the LEO-style learning component: after a query runs, the
+// executor records (predicate signature, estimated rows, actual rows); the
+// estimator consults the store on later queries and applies the learned
+// adjustment factor. Adjustments decay toward recent observations via an
+// exponential moving average, so the store tracks drifting data.
+type FeedbackStore struct {
+	mu      sync.RWMutex
+	adjust  map[string]float64 // signature -> multiplicative adjustment
+	samples map[string]int
+	alpha   float64 // EMA weight for new observations
+}
+
+// NewFeedbackStore returns an empty store.
+func NewFeedbackStore() *FeedbackStore {
+	return &FeedbackStore{adjust: map[string]float64{}, samples: map[string]int{}, alpha: 0.5}
+}
+
+// Record stores one observation. Estimated and actual are row counts; both
+// are floored at 1 to keep ratios finite.
+func (f *FeedbackStore) Record(signature string, estimated, actual float64) {
+	if signature == "" {
+		return
+	}
+	ratio := math.Max(actual, 1) / math.Max(estimated, 1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if prev, ok := f.adjust[signature]; ok {
+		f.adjust[signature] = prev*(1-f.alpha) + ratio*f.alpha
+	} else {
+		f.adjust[signature] = ratio
+	}
+	f.samples[signature]++
+}
+
+// Adjustment returns the learned multiplicative correction for a signature,
+// or 1 if nothing was learned.
+func (f *FeedbackStore) Adjustment(signature string) float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if a, ok := f.adjust[signature]; ok {
+		return a
+	}
+	return 1
+}
+
+// Known reports whether the signature has feedback.
+func (f *FeedbackStore) Known(signature string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, ok := f.adjust[signature]
+	return ok
+}
+
+// Len returns the number of learned signatures.
+func (f *FeedbackStore) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.adjust)
+}
+
+// Reset clears all learned adjustments.
+func (f *FeedbackStore) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.adjust = map[string]float64{}
+	f.samples = map[string]int{}
+}
+
+// Signatures returns all learned signatures sorted, for inspection.
+func (f *FeedbackStore) Signatures() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.adjust))
+	for s := range f.adjust {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

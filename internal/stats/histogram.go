@@ -1,0 +1,338 @@
+// Package stats implements the statistics subsystem: equi-depth histograms,
+// distinct-value and correlation statistics, LEO-style query feedback,
+// maximum-entropy selectivity combination and Beta-posterior selectivity
+// distributions for robust (percentile-based) estimation.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"rqp/internal/types"
+)
+
+// Histogram is an equi-depth histogram over a numeric (or date) column.
+// Bucket i covers (bounds[i], bounds[i+1]], except bucket 0 which includes
+// its lower bound.
+type Histogram struct {
+	Bounds   []float64 // len = buckets+1
+	Counts   []float64 // rows per bucket
+	Distinct []float64 // distinct values per bucket (estimated)
+	Total    float64
+}
+
+// BuildHistogram constructs an equi-depth histogram with at most `buckets`
+// buckets from the column values (NULLs excluded by the caller).
+func BuildHistogram(vals []float64, buckets int) *Histogram {
+	if len(vals) == 0 {
+		return &Histogram{Bounds: []float64{0, 0}, Counts: []float64{0}, Distinct: []float64{0}}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > len(sorted) {
+		buckets = len(sorted)
+	}
+	per := float64(len(sorted)) / float64(buckets)
+	h := &Histogram{Total: float64(len(sorted))}
+	h.Bounds = append(h.Bounds, sorted[0])
+	start := 0
+	for b := 1; b <= buckets; b++ {
+		end := int(math.Round(per * float64(b)))
+		if end <= start {
+			end = start + 1
+		}
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		if b == buckets {
+			end = len(sorted)
+		}
+		seg := sorted[start:end]
+		h.Counts = append(h.Counts, float64(len(seg)))
+		h.Distinct = append(h.Distinct, float64(countDistinct(seg)))
+		h.Bounds = append(h.Bounds, seg[len(seg)-1])
+		start = end
+		if start >= len(sorted) {
+			break
+		}
+	}
+	return h
+}
+
+func countDistinct(sorted []float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	n := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// Buckets returns the bucket count.
+func (h *Histogram) Buckets() int { return len(h.Counts) }
+
+// Min returns the histogram's minimum bound.
+func (h *Histogram) Min() float64 { return h.Bounds[0] }
+
+// Max returns the histogram's maximum bound.
+func (h *Histogram) Max() float64 { return h.Bounds[len(h.Bounds)-1] }
+
+// SelectivityRange estimates the fraction of rows in [lo, hi] (use ±Inf for
+// open ends; inclusivity is approximated, which is standard for
+// histogram-based estimation over continuous domains).
+func (h *Histogram) SelectivityRange(lo, hi float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	if lo > hi {
+		return 0
+	}
+	rows := 0.0
+	for i := range h.Counts {
+		bLo, bHi := h.Bounds[i], h.Bounds[i+1]
+		if bHi < lo || bLo > hi {
+			continue
+		}
+		width := bHi - bLo
+		overlapLo := math.Max(bLo, lo)
+		overlapHi := math.Min(bHi, hi)
+		frac := 1.0
+		if width > 0 {
+			frac = (overlapHi - overlapLo) / width
+			if frac < 0 {
+				frac = 0
+			}
+		} else if overlapHi < overlapLo {
+			frac = 0
+		}
+		// Point queries inside a bucket get at least one distinct value's
+		// share so equality never estimates to zero.
+		if frac == 0 && lo == hi && lo >= bLo && lo <= bHi {
+			frac = 1 / math.Max(h.Distinct[i], 1)
+		}
+		rows += h.Counts[i] * frac
+	}
+	sel := rows / h.Total
+	if lo == hi {
+		// Equality: the interpolated width-share is meaningless; use the
+		// per-distinct share of the containing bucket instead.
+		sel = h.selectivityEq(lo)
+	}
+	return clamp01(sel)
+}
+
+func (h *Histogram) selectivityEq(v float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	for i := range h.Counts {
+		bLo, bHi := h.Bounds[i], h.Bounds[i+1]
+		if v >= bLo && (v <= bHi || i == len(h.Counts)-1 && v == bHi) {
+			d := math.Max(h.Distinct[i], 1)
+			return clamp01(h.Counts[i] / d / h.Total)
+		}
+	}
+	return 0
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ColumnStats aggregates everything known about one column.
+type ColumnStats struct {
+	Kind      types.Kind
+	RowCount  float64
+	NullCount float64
+	NDV       float64
+	MinV      float64
+	MaxV      float64
+	Hist      *Histogram // numeric kinds only
+
+	// TopValues holds the most common string values with exact counts.
+	TopValues map[string]float64
+	// TopNums holds the most common integral numeric values with exact
+	// counts — the MCV statistic that keeps equality estimates honest under
+	// skew (histograms alone average heavy hitters away).
+	TopNums map[int64]float64
+}
+
+// BuildColumnStats computes statistics for a column given its values.
+func BuildColumnStats(kind types.Kind, vals []types.Value, buckets int) *ColumnStats {
+	cs := &ColumnStats{Kind: kind, RowCount: float64(len(vals)), MinV: math.Inf(1), MaxV: math.Inf(-1)}
+	var nums []float64
+	strCounts := map[string]float64{}
+	numCounts := map[int64]float64{}
+	distinct := map[types.Value]bool{}
+	for _, v := range vals {
+		if v.IsNull() {
+			cs.NullCount++
+			continue
+		}
+		distinct[canonical(v)] = true
+		if v.Numeric() {
+			f := v.AsFloat()
+			nums = append(nums, f)
+			if f < cs.MinV {
+				cs.MinV = f
+			}
+			if f > cs.MaxV {
+				cs.MaxV = f
+			}
+			if f == math.Trunc(f) {
+				numCounts[int64(f)]++
+			}
+		} else if v.K == types.KindString {
+			strCounts[v.S]++
+		}
+	}
+	cs.NDV = float64(len(distinct))
+	if len(nums) > 0 {
+		cs.Hist = BuildHistogram(nums, buckets)
+	}
+	if len(strCounts) > 0 {
+		cs.TopValues = topK(strCounts, 64)
+	}
+	if len(numCounts) > 0 {
+		cs.TopNums = topKNum(numCounts, 64)
+	}
+	return cs
+}
+
+func topKNum(m map[int64]float64, k int) map[int64]float64 {
+	type kv struct {
+		k int64
+		v float64
+	}
+	all := make([]kv, 0, len(m))
+	for n, c := range m {
+		all = append(all, kv{n, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make(map[int64]float64, len(all))
+	for _, e := range all {
+		out[e.k] = e.v
+	}
+	return out
+}
+
+func canonical(v types.Value) types.Value {
+	if v.K == types.KindFloat && v.F == math.Trunc(v.F) {
+		return types.Int(int64(v.F))
+	}
+	if v.K == types.KindDate {
+		return types.Int(v.I)
+	}
+	return v
+}
+
+func topK(m map[string]float64, k int) map[string]float64 {
+	type kv struct {
+		k string
+		v float64
+	}
+	all := make([]kv, 0, len(m))
+	for s, c := range m {
+		all = append(all, kv{s, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make(map[string]float64, len(all))
+	for _, e := range all {
+		out[e.k] = e.v
+	}
+	return out
+}
+
+// NonNullFraction returns the fraction of non-null rows.
+func (cs *ColumnStats) NonNullFraction() float64 {
+	if cs.RowCount == 0 {
+		return 0
+	}
+	return (cs.RowCount - cs.NullCount) / cs.RowCount
+}
+
+// SelectivityEq estimates selectivity of column = value.
+func (cs *ColumnStats) SelectivityEq(v types.Value) float64 {
+	if cs.RowCount == 0 {
+		return 0
+	}
+	if v.IsNull() {
+		return 0
+	}
+	if v.K == types.KindString {
+		if cs.TopValues != nil {
+			if c, ok := cs.TopValues[v.S]; ok {
+				return clamp01(c / cs.RowCount)
+			}
+		}
+		if cs.NDV > 0 {
+			return clamp01(1 / cs.NDV * cs.NonNullFraction())
+		}
+		return 0.01
+	}
+	f := v.AsFloat()
+	if cs.TopNums != nil && f == math.Trunc(f) {
+		if c, ok := cs.TopNums[int64(f)]; ok {
+			return clamp01(c / cs.RowCount)
+		}
+	}
+	if cs.Hist != nil {
+		return cs.Hist.selectivityEq(f) * cs.NonNullFraction()
+	}
+	if cs.NDV > 0 {
+		return clamp01(1 / cs.NDV * cs.NonNullFraction())
+	}
+	return 0.01
+}
+
+// SelectivityRange estimates selectivity of lo <= column <= hi (±Inf open).
+func (cs *ColumnStats) SelectivityRange(lo, hi float64) float64 {
+	if cs.Hist != nil {
+		return cs.Hist.SelectivityRange(lo, hi) * cs.NonNullFraction()
+	}
+	if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+		return cs.NonNullFraction()
+	}
+	// Uniform fallback over [MinV, MaxV].
+	if cs.MaxV <= cs.MinV {
+		if lo <= cs.MinV && hi >= cs.MaxV {
+			return cs.NonNullFraction()
+		}
+		return 0
+	}
+	l := math.Max(lo, cs.MinV)
+	h := math.Min(hi, cs.MaxV)
+	if h < l {
+		return 0
+	}
+	return clamp01((h - l) / (cs.MaxV - cs.MinV) * cs.NonNullFraction())
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+)
+
+// MaxEntCombiner computes a consistent joint selectivity for a conjunction
+// of predicates from partial knowledge, following the maximum-entropy
+// principle (Markl et al., VLDB J. 16(1)): given marginal selectivities and
+// possibly some joint selectivities for predicate subsets, it finds the
+// probability distribution over the 2^n predicate atoms that satisfies all
+// constraints and maximizes entropy, then reads off the selectivity of the
+// full conjunction. With only marginals known, the result reduces to the
+// independence assumption — exactly the behaviour the paper describes.
+type MaxEntCombiner struct {
+	n           int
+	constraints []meConstraint
+}
+
+type meConstraint struct {
+	mask int // predicates whose conjunction has known selectivity
+	sel  float64
+}
+
+// NewMaxEntCombiner creates a combiner over n predicates (n <= 16).
+func NewMaxEntCombiner(n int) *MaxEntCombiner {
+	if n > 16 {
+		n = 16
+	}
+	return &MaxEntCombiner{n: n}
+}
+
+// AddMarginal records the selectivity of predicate i alone.
+func (m *MaxEntCombiner) AddMarginal(i int, sel float64) {
+	m.AddJoint([]int{i}, sel)
+}
+
+// AddJoint records the known selectivity of the conjunction of the given
+// predicates.
+func (m *MaxEntCombiner) AddJoint(preds []int, sel float64) {
+	mask := 0
+	for _, p := range preds {
+		if p >= 0 && p < m.n {
+			mask |= 1 << p
+		}
+	}
+	if mask == 0 {
+		return
+	}
+	m.constraints = append(m.constraints, meConstraint{mask: mask, sel: clamp01(sel)})
+}
+
+// Selectivity solves the maximum-entropy program by iterative proportional
+// fitting over the 2^n atoms and returns the selectivity of the conjunction
+// of the given predicates (all predicates if preds is nil).
+func (m *MaxEntCombiner) Selectivity(preds []int) float64 {
+	atoms := 1 << m.n
+	x := make([]float64, atoms)
+	for b := range x {
+		x[b] = 1 / float64(atoms) // uniform start = max entropy with no constraints
+	}
+	const (
+		iterations = 200
+		eps        = 1e-9
+	)
+	for it := 0; it < iterations; it++ {
+		maxErr := 0.0
+		for _, c := range m.constraints {
+			cur := 0.0
+			for b := 0; b < atoms; b++ {
+				if b&c.mask == c.mask {
+					cur += x[b]
+				}
+			}
+			if err := math.Abs(cur - c.sel); err > maxErr {
+				maxErr = err
+			}
+			// Scale atoms inside the constraint toward the target and the
+			// complement toward 1-target, preserving total probability.
+			inScale, outScale := 1.0, 1.0
+			if cur > eps {
+				inScale = c.sel / cur
+			} else if c.sel > eps {
+				// Resurrect mass uniformly into the constraint's support.
+				n := 0
+				for b := 0; b < atoms; b++ {
+					if b&c.mask == c.mask {
+						n++
+					}
+				}
+				for b := 0; b < atoms; b++ {
+					if b&c.mask == c.mask {
+						x[b] = c.sel / float64(n)
+					}
+				}
+				cur = c.sel
+				inScale = 1
+			}
+			if 1-cur > eps {
+				outScale = (1 - c.sel) / (1 - cur)
+			}
+			for b := 0; b < atoms; b++ {
+				if b&c.mask == c.mask {
+					x[b] *= inScale
+				} else {
+					x[b] *= outScale
+				}
+			}
+		}
+		if maxErr < 1e-7 {
+			break
+		}
+	}
+	mask := 0
+	if preds == nil {
+		mask = (1 << m.n) - 1
+	} else {
+		for _, p := range preds {
+			if p >= 0 && p < m.n {
+				mask |= 1 << p
+			}
+		}
+	}
+	out := 0.0
+	for b := 0; b < atoms; b++ {
+		if b&mask == mask {
+			out += x[b]
+		}
+	}
+	return clamp01(out)
+}

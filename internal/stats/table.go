@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"rqp/internal/types"
+)
+
+// TableStats holds per-table statistics: row count, per-column statistics
+// and optional column-group (correlation) statistics.
+type TableStats struct {
+	mu       sync.RWMutex
+	RowCount float64
+	Cols     []*ColumnStats
+
+	// groupNDV maps a sorted column-index set (encoded) to the joint
+	// distinct count of that group — the CORDS-style correlation statistic.
+	groupNDV map[string]float64
+
+	// groupSel caches measured joint selectivities for predicate
+	// signatures, learned from feedback or sampled offline.
+	groupSel map[string]float64
+}
+
+// NewTableStats returns empty statistics for a table with n columns.
+func NewTableStats(n int) *TableStats {
+	return &TableStats{
+		Cols:     make([]*ColumnStats, n),
+		groupNDV: map[string]float64{},
+		groupSel: map[string]float64{},
+	}
+}
+
+// Analyze computes statistics from the full table contents (rows are
+// column-major extracted by the caller via the getter).
+func Analyze(numRows int, numCols int, kinds []types.Kind, get func(row, col int) types.Value, buckets int) *TableStats {
+	ts := NewTableStats(numCols)
+	ts.RowCount = float64(numRows)
+	for c := 0; c < numCols; c++ {
+		vals := make([]types.Value, numRows)
+		for r := 0; r < numRows; r++ {
+			vals[r] = get(r, c)
+		}
+		ts.Cols[c] = BuildColumnStats(kinds[c], vals, buckets)
+	}
+	return ts
+}
+
+func groupKey(cols []int) string {
+	s := append([]int(nil), cols...)
+	sort.Ints(s)
+	return fmt.Sprint(s)
+}
+
+// SetGroupNDV records the joint distinct count of a column group.
+func (ts *TableStats) SetGroupNDV(cols []int, ndv float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.groupNDV[groupKey(cols)] = ndv
+}
+
+// GroupNDV returns the joint distinct count of a column group, if recorded.
+func (ts *TableStats) GroupNDV(cols []int) (float64, bool) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	v, ok := ts.groupNDV[groupKey(cols)]
+	return v, ok
+}
+
+// AnalyzeGroup computes and stores the joint NDV of a column group from the
+// table contents.
+func (ts *TableStats) AnalyzeGroup(cols []int, numRows int, get func(row, col int) types.Value) {
+	seen := map[string]bool{}
+	for r := 0; r < numRows; r++ {
+		key := ""
+		for _, c := range cols {
+			key += get(r, c).String() + "\x00"
+		}
+		seen[key] = true
+	}
+	ts.SetGroupNDV(cols, float64(len(seen)))
+}
+
+// ColStats returns per-column statistics (nil if not analyzed).
+func (ts *TableStats) ColStats(col int) *ColumnStats {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	if col < 0 || col >= len(ts.Cols) {
+		return nil
+	}
+	return ts.Cols[col]
+}
+
+// CorrelatedConjunctionSelectivity combines per-column equality/range
+// selectivities for a set of columns. Without group statistics it falls
+// back to the independence assumption (the classic failure mode the
+// Dagstuhl "black hat" tests probe); with a recorded group NDV it applies
+// the joint-distinct correction, which collapses redundant predicates
+// instead of multiplying their selectivities.
+func (ts *TableStats) CorrelatedConjunctionSelectivity(cols []int, perColSel []float64) float64 {
+	indep := 1.0
+	for _, s := range perColSel {
+		indep *= s
+	}
+	ndvJoint, ok := ts.GroupNDV(cols)
+	if !ok || ndvJoint <= 0 {
+		return clamp01(indep)
+	}
+	minSel := 1.0
+	prodNDV := 1.0
+	maxNDV := 1.0
+	for i, c := range cols {
+		if perColSel[i] < minSel {
+			minSel = perColSel[i]
+		}
+		if cs := ts.ColStats(c); cs != nil && cs.NDV > 0 {
+			prodNDV *= cs.NDV
+			if cs.NDV > maxNDV {
+				maxNDV = cs.NDV
+			}
+		}
+	}
+	if prodNDV <= maxNDV {
+		return clamp01(indep)
+	}
+	// Functional-dependency degree from distinct counts: 0 when the joint
+	// NDV equals the independence product (columns independent), 1 when it
+	// equals the largest single-column NDV (one column determines the
+	// rest). The combined selectivity interpolates geometrically between
+	// the independence product and the most selective factor — exact at
+	// both ends regardless of how skewed the marginals are.
+	fd := math.Log(prodNDV/ndvJoint) / math.Log(prodNDV/maxNDV)
+	if fd < 0 {
+		fd = 0
+	}
+	if fd > 1 {
+		fd = 1
+	}
+	if indep <= 0 || minSel <= 0 {
+		return clamp01(indep)
+	}
+	sel := indep * math.Pow(minSel/indep, fd)
+	if sel > minSel {
+		sel = minSel
+	}
+	return clamp01(sel)
+}
+
+// JoinSelectivity estimates equi-join selectivity between two columns using
+// 1/max(ndv) — the textbook formula.
+func JoinSelectivity(left, right *ColumnStats) float64 {
+	l, r := 100.0, 100.0
+	if left != nil && left.NDV > 0 {
+		l = left.NDV
+	}
+	if right != nil && right.NDV > 0 {
+		r = right.NDV
+	}
+	return 1 / math.Max(l, r)
+}

@@ -1,0 +1,127 @@
+// Package storage provides the page-granular heap storage substrate and the
+// deterministic cost clock that every experiment uses as its reproducible
+// "response time". Robustness metrics in the Dagstuhl report compare
+// relative plan behaviour (regressions, crossovers, variance), so a
+// deterministic clock makes the reproduced figure shapes stable run-to-run
+// while wall-clock timing stays available through testing.B.
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CostModel holds the unit charges of the simulated machine.
+type CostModel struct {
+	SeqPageRead  float64 // sequential page read
+	RandPageRead float64 // random page read (index probe, RID fetch)
+	PageWrite    float64 // page write (spills, inserts)
+	RowCPU       float64 // per-row processing (filter, project, copy)
+	HashProbe    float64 // per-probe hash table work
+	Compare      float64 // per-comparison sort/merge work
+}
+
+// DefaultCostModel is the machine every experiment runs on.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SeqPageRead:  1.0,
+		RandPageRead: 4.0,
+		PageWrite:    2.0,
+		RowCPU:       0.01,
+		HashProbe:    0.015,
+		Compare:      0.012,
+	}
+}
+
+// Clock accumulates simulated cost. It is safe for concurrent use so that
+// parallel operators and mixed workloads can share one clock.
+type Clock struct {
+	model CostModel
+
+	// Counters are scaled by 1e6 and stored as integers for atomic math.
+	units int64
+
+	seqReads   int64
+	randReads  int64
+	pageWrites int64
+	rowsCPU    int64
+}
+
+// NewClock returns a clock over the given cost model.
+func NewClock(m CostModel) *Clock { return &Clock{model: m} }
+
+const clockScale = 1e6
+
+func (c *Clock) add(u float64) { atomic.AddInt64(&c.units, int64(u*clockScale)) }
+
+// SeqRead charges n sequential page reads.
+func (c *Clock) SeqRead(n int) {
+	atomic.AddInt64(&c.seqReads, int64(n))
+	c.add(c.model.SeqPageRead * float64(n))
+}
+
+// RandRead charges n random page reads.
+func (c *Clock) RandRead(n int) {
+	atomic.AddInt64(&c.randReads, int64(n))
+	c.add(c.model.RandPageRead * float64(n))
+}
+
+// Write charges n page writes.
+func (c *Clock) Write(n int) {
+	atomic.AddInt64(&c.pageWrites, int64(n))
+	c.add(c.model.PageWrite * float64(n))
+}
+
+// RowWork charges per-row CPU for n rows.
+func (c *Clock) RowWork(n int) {
+	atomic.AddInt64(&c.rowsCPU, int64(n))
+	c.add(c.model.RowCPU * float64(n))
+}
+
+// Probes charges n hash probes.
+func (c *Clock) Probes(n int) { c.add(c.model.HashProbe * float64(n)) }
+
+// Compares charges n comparisons.
+func (c *Clock) Compares(n int) { c.add(c.model.Compare * float64(n)) }
+
+// Units returns the accumulated cost in model units.
+func (c *Clock) Units() float64 {
+	return float64(atomic.LoadInt64(&c.units)) / clockScale
+}
+
+// Counters returns the raw event counts (seq reads, rand reads, writes, rows).
+func (c *Clock) Counters() (seq, rand, writes, rows int64) {
+	return atomic.LoadInt64(&c.seqReads), atomic.LoadInt64(&c.randReads),
+		atomic.LoadInt64(&c.pageWrites), atomic.LoadInt64(&c.rowsCPU)
+}
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() {
+	atomic.StoreInt64(&c.units, 0)
+	atomic.StoreInt64(&c.seqReads, 0)
+	atomic.StoreInt64(&c.randReads, 0)
+	atomic.StoreInt64(&c.pageWrites, 0)
+	atomic.StoreInt64(&c.rowsCPU, 0)
+}
+
+// Model returns the clock's cost model.
+func (c *Clock) Model() CostModel { return c.model }
+
+// String summarizes the clock state.
+func (c *Clock) String() string {
+	s, r, w, rows := c.Counters()
+	return fmt.Sprintf("cost=%.2f (seq=%d rand=%d write=%d rows=%d)", c.Units(), s, r, w, rows)
+}
+
+// Stopwatch captures a start point on a clock so callers can measure the
+// cost of a span of work.
+type Stopwatch struct {
+	clock *Clock
+	start float64
+}
+
+// StartWatch begins measuring on the clock.
+func (c *Clock) StartWatch() Stopwatch { return Stopwatch{clock: c, start: c.Units()} }
+
+// Elapsed returns cost units accumulated since the watch started.
+func (w Stopwatch) Elapsed() float64 { return w.clock.Units() - w.start }

@@ -1,0 +1,231 @@
+// Package wlm implements workload management: admission control with a
+// multiprogramming limit and priorities, a deterministic processor-sharing
+// simulator for degree-of-parallelism interference (the FPT test), and
+// memory-budget fluctuation schedules (the FMT test).
+package wlm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Job is one admitted unit of work for the processor-sharing simulator:
+// it needs Cost processor-units of service and can use at most MaxDOP
+// processors at once.
+type Job struct {
+	ID       string
+	Cost     float64
+	MaxDOP   int
+	Priority int // higher runs first when the MPL gate holds jobs back
+	Arrival  float64
+	// Exempt jobs bypass the multiprogramming limit: workload managers
+	// typically gate only the heavy analytic class while transactions flow
+	// freely.
+	Exempt bool
+}
+
+// Completion reports when a job finished and how long it took.
+type Completion struct {
+	ID       string
+	Start    float64
+	Finish   float64
+	Response float64 // Finish - Arrival
+}
+
+// SimulateProcessorSharing runs the jobs on `procs` processors under
+// egalitarian processor sharing (each running job gets an equal share
+// capped by its MaxDOP), with an optional multiprogramming limit: at most
+// mpl jobs service simultaneously, the rest wait in priority order. The
+// simulation is event-driven and fully deterministic.
+func SimulateProcessorSharing(jobs []Job, procs int, mpl int) []Completion {
+	if procs < 1 {
+		procs = 1
+	}
+	if mpl <= 0 {
+		mpl = len(jobs) + 1
+	}
+	states := make([]*psState, len(jobs))
+	for i, j := range jobs {
+		if j.MaxDOP < 1 {
+			j.MaxDOP = 1
+		}
+		states[i] = &psState{job: j, remaining: j.Cost, started: -1}
+	}
+	now := 0.0
+	for {
+		// Admit: runnable jobs that have arrived, by priority then arrival.
+		var waiting, running []*psState
+		for _, s := range states {
+			if s.done || s.job.Arrival > now {
+				continue
+			}
+			if s.running {
+				running = append(running, s)
+			} else {
+				waiting = append(waiting, s)
+			}
+		}
+		sort.SliceStable(waiting, func(i, j int) bool {
+			if waiting[i].job.Priority != waiting[j].job.Priority {
+				return waiting[i].job.Priority > waiting[j].job.Priority
+			}
+			return waiting[i].job.Arrival < waiting[j].job.Arrival
+		})
+		gated := 0
+		for _, s := range running {
+			if !s.job.Exempt {
+				gated++
+			}
+		}
+		for _, s := range waiting {
+			if !s.job.Exempt {
+				if gated >= mpl {
+					continue
+				}
+				gated++
+			}
+			s.running = true
+			if s.started < 0 {
+				s.started = now
+			}
+			running = append(running, s)
+		}
+		if len(running) == 0 {
+			// Jump to next arrival, or finish.
+			next := math.Inf(1)
+			for _, s := range states {
+				if !s.done && s.job.Arrival > now && s.job.Arrival < next {
+					next = s.job.Arrival
+				}
+			}
+			if math.IsInf(next, 1) {
+				break
+			}
+			now = next
+			continue
+		}
+		// Allocate processors: equal share capped by MaxDOP, redistribute
+		// leftovers.
+		alloc := allocate(running, procs)
+		// Advance to the next event: a running job finishing or an arrival.
+		dt := math.Inf(1)
+		for i, s := range running {
+			if alloc[i] > 0 {
+				if t := s.remaining / alloc[i]; t < dt {
+					dt = t
+				}
+			}
+		}
+		for _, s := range states {
+			if !s.done && s.job.Arrival > now {
+				if t := s.job.Arrival - now; t < dt {
+					dt = t
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			break
+		}
+		for i, s := range running {
+			s.remaining -= alloc[i] * dt
+			if s.remaining <= 1e-9 {
+				s.done = true
+				s.running = false
+				s.finish = now + dt
+			}
+		}
+		now += dt
+	}
+	out := make([]Completion, 0, len(states))
+	for _, s := range states {
+		out = append(out, Completion{
+			ID: s.job.ID, Start: s.started, Finish: s.finish,
+			Response: s.finish - s.job.Arrival,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// psState tracks one job inside the processor-sharing simulation.
+type psState struct {
+	job       Job
+	remaining float64
+	started   float64
+	running   bool
+	done      bool
+	finish    float64
+}
+
+// allocate distributes procs among running jobs: equal shares capped at
+// MaxDOP, redistributing unused capacity until stable.
+func allocate(running []*psState, procs int) []float64 {
+	n := len(running)
+	alloc := make([]float64, n)
+	capped := make([]bool, n)
+	left := float64(procs)
+	active := n
+	for left > 1e-9 && active > 0 {
+		share := left / float64(active)
+		distributed := 0.0
+		for i, s := range running {
+			if capped[i] {
+				continue
+			}
+			room := float64(s.job.MaxDOP) - alloc[i]
+			give := math.Min(share, room)
+			alloc[i] += give
+			distributed += give
+			if alloc[i] >= float64(s.job.MaxDOP)-1e-12 {
+				capped[i] = true
+				active--
+			}
+		}
+		left -= distributed
+		if distributed < 1e-12 {
+			break
+		}
+	}
+	return alloc
+}
+
+// MemorySchedule yields the memory budget (rows) as a function of query
+// index — the FMT fluctuation patterns.
+type MemorySchedule func(step int) int
+
+// ConstantMemory returns a flat schedule.
+func ConstantMemory(rows int) MemorySchedule {
+	return func(int) int { return rows }
+}
+
+// DecliningMemory linearly decreases from hi to lo over n steps.
+func DecliningMemory(hi, lo, n int) MemorySchedule {
+	if n < 2 {
+		n = 2
+	}
+	return func(step int) int {
+		if step >= n {
+			return lo
+		}
+		return hi - (hi-lo)*step/(n-1)
+	}
+}
+
+// OscillatingMemory alternates between hi and lo with the given period.
+func OscillatingMemory(hi, lo, period int) MemorySchedule {
+	if period < 1 {
+		period = 1
+	}
+	return func(step int) int {
+		if (step/period)%2 == 0 {
+			return hi
+		}
+		return lo
+	}
+}
+
+// String helpers for experiment output.
+func (c Completion) String() string {
+	return fmt.Sprintf("%s: start=%.2f finish=%.2f resp=%.2f", c.ID, c.Start, c.Finish, c.Response)
+}

@@ -1,0 +1,150 @@
+package wlm
+
+import (
+	"math"
+	"testing"
+)
+
+func findC(t *testing.T, cs []Completion, id string) Completion {
+	t.Helper()
+	for _, c := range cs {
+		if c.ID == id {
+			return c
+		}
+	}
+	t.Fatalf("completion %s missing", id)
+	return Completion{}
+}
+
+func TestSingleJobUsesItsDOP(t *testing.T) {
+	jobs := []Job{{ID: "q1", Cost: 100, MaxDOP: 4}}
+	cs := SimulateProcessorSharing(jobs, 8, 0)
+	c := findC(t, cs, "q1")
+	if math.Abs(c.Finish-25) > 1e-6 {
+		t.Errorf("finish = %v, want 25 (100 cost / 4 procs)", c.Finish)
+	}
+}
+
+func TestProcessorSharingSlowsBothJobs(t *testing.T) {
+	solo := SimulateProcessorSharing([]Job{{ID: "q", Cost: 100, MaxDOP: 4}}, 4, 0)
+	both := SimulateProcessorSharing([]Job{
+		{ID: "qa", Cost: 100, MaxDOP: 4},
+		{ID: "qb", Cost: 100, MaxDOP: 4},
+	}, 4, 0)
+	tSolo := findC(t, solo, "q").Response
+	tBoth := findC(t, both, "qa").Response
+	if tBoth <= tSolo*1.5 {
+		t.Errorf("contention should slow jobs: solo=%v shared=%v", tSolo, tBoth)
+	}
+}
+
+// TestFPTInterference reproduces the FPT shape: a high-DOP interloper Qm
+// arriving mid-flight steals processors from Qi.
+func TestFPTInterference(t *testing.T) {
+	alone := SimulateProcessorSharing([]Job{{ID: "qi", Cost: 400, MaxDOP: 4}}, 4, 0)
+	withQm := SimulateProcessorSharing([]Job{
+		{ID: "qi", Cost: 400, MaxDOP: 4},
+		{ID: "qm", Cost: 400, MaxDOP: 8, Arrival: 20},
+	}, 4, 0)
+	slowdown := findC(t, withQm, "qi").Response / findC(t, alone, "qi").Response
+	if slowdown < 1.2 {
+		t.Errorf("Qm should visibly slow Qi: slowdown=%.2f", slowdown)
+	}
+}
+
+func TestMPLGateHoldsBackLowPriority(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", Cost: 100, MaxDOP: 2, Priority: 1},
+		{ID: "b", Cost: 100, MaxDOP: 2, Priority: 5},
+		{ID: "c", Cost: 100, MaxDOP: 2, Priority: 1},
+	}
+	cs := SimulateProcessorSharing(jobs, 4, 1)
+	b := findC(t, cs, "b")
+	a := findC(t, cs, "a")
+	if b.Start > a.Start {
+		t.Errorf("high priority should start first: b@%v a@%v", b.Start, a.Start)
+	}
+	// With MPL 1, completions must be strictly serialized.
+	if b.Finish > a.Start+1e-9 && a.Start < b.Finish-1e-9 && a.Start != b.Finish {
+		// a must not start before b finishes
+		if a.Start < b.Finish-1e-9 {
+			t.Errorf("MPL 1 violated: a started %v before b finished %v", a.Start, b.Finish)
+		}
+	}
+}
+
+func TestArrivalsRespected(t *testing.T) {
+	jobs := []Job{
+		{ID: "late", Cost: 10, MaxDOP: 1, Arrival: 100},
+	}
+	cs := SimulateProcessorSharing(jobs, 4, 0)
+	c := findC(t, cs, "late")
+	if c.Start < 100 {
+		t.Errorf("job started before arrival: %v", c.Start)
+	}
+	if math.Abs(c.Response-10) > 1e-6 {
+		t.Errorf("response = %v, want 10", c.Response)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Total work 300 on 3 procs: makespan >= 100 regardless of mix.
+	jobs := []Job{
+		{ID: "a", Cost: 100, MaxDOP: 3},
+		{ID: "b", Cost: 100, MaxDOP: 1},
+		{ID: "c", Cost: 100, MaxDOP: 2},
+	}
+	cs := SimulateProcessorSharing(jobs, 3, 0)
+	makespan := 0.0
+	for _, c := range cs {
+		if c.Finish > makespan {
+			makespan = c.Finish
+		}
+	}
+	if makespan < 100-1e-6 {
+		t.Errorf("makespan %v below lower bound 100", makespan)
+	}
+	if makespan > 300+1e-6 {
+		t.Errorf("makespan %v above serial bound", makespan)
+	}
+}
+
+func TestExemptJobsBypassMPL(t *testing.T) {
+	// MPL=1 gates the two utilities; the exempt query runs immediately.
+	jobs := []Job{
+		{ID: "u1", Cost: 100, MaxDOP: 2, Arrival: 0},
+		{ID: "u2", Cost: 100, MaxDOP: 2, Arrival: 0},
+		{ID: "q", Cost: 50, MaxDOP: 2, Arrival: 10, Exempt: true},
+	}
+	cs := SimulateProcessorSharing(jobs, 4, 1)
+	q := findC(t, cs, "q")
+	if q.Start != 10 {
+		t.Errorf("exempt job should start on arrival: start=%v", q.Start)
+	}
+	u1, u2 := findC(t, cs, "u1"), findC(t, cs, "u2")
+	if u1.Start == u2.Start {
+		t.Errorf("gated jobs should serialize: u1@%v u2@%v", u1.Start, u2.Start)
+	}
+}
+
+func TestMemorySchedules(t *testing.T) {
+	c := ConstantMemory(1000)
+	if c(0) != 1000 || c(99) != 1000 {
+		t.Error("constant schedule wrong")
+	}
+	d := DecliningMemory(1000, 100, 10)
+	if d(0) != 1000 || d(9) != 100 || d(100) != 100 {
+		t.Errorf("declining schedule wrong: %d %d %d", d(0), d(9), d(100))
+	}
+	prev := d(0)
+	for i := 1; i < 10; i++ {
+		if d(i) > prev {
+			t.Error("declining schedule should not increase")
+		}
+		prev = d(i)
+	}
+	o := OscillatingMemory(1000, 100, 2)
+	if o(0) != 1000 || o(1) != 1000 || o(2) != 100 || o(4) != 1000 {
+		t.Errorf("oscillating schedule wrong: %d %d %d %d", o(0), o(1), o(2), o(4))
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"rqp/internal/catalog"
+	"rqp/internal/types"
+)
+
+// StarConfig controls the star schema used by the POP reproduction (E1–E3)
+// and the black-hat cardinality tests (E15). The fact table carries a pair
+// of perfectly correlated columns (attr and pseudo = attr*PseudoFactor):
+// predicates over both reproduce Lohman's war story — independence-based
+// estimation underestimates their conjunction by orders of magnitude.
+type StarConfig struct {
+	FactRows     int
+	DimRows      int
+	Dim2Rows     int
+	AttrDomain   int64 // distinct values of fact.attr
+	PseudoFactor int64
+	Seed         int64
+}
+
+// DefaultStar is the configuration the experiments use. Dimensions are
+// sized and indexed so that a badly underestimated fact input makes an
+// index-nested-loop join look free at compile time and catastrophic at run
+// time — the plan damage POP exists to repair.
+func DefaultStar() StarConfig {
+	return StarConfig{FactRows: 20000, DimRows: 6000, Dim2Rows: 2500, AttrDomain: 100, PseudoFactor: 3, Seed: 1}
+}
+
+// BuildStar creates and loads fact(fid, attr, pseudo, d1, d2, measure),
+// dim1(id, cat, region) and dim2(id, zone), with statistics analyzed but —
+// deliberately — no column-group statistics, so the optimizer falls into
+// the correlation trap unless a correlation-aware mode is enabled.
+func BuildStar(cfg StarConfig) (*catalog.Catalog, error) {
+	cat := catalog.New()
+	g := NewGen(cfg.Seed)
+
+	fact, err := cat.CreateTable("fact", types.Schema{
+		{Name: "fid", Kind: types.KindInt},
+		{Name: "attr", Kind: types.KindInt},
+		{Name: "pseudo", Kind: types.KindInt},
+		{Name: "d1", Kind: types.KindInt},
+		{Name: "d2", Kind: types.KindInt},
+		{Name: "measure", Kind: types.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	zip := g.ZipfSeq(uint64(cfg.AttrDomain), 1.3)
+	for i := 0; i < cfg.FactRows; i++ {
+		attr := zip()
+		cat.Insert(nil, fact, IntRow(
+			int64(i), attr, attr*cfg.PseudoFactor,
+			g.Uniform(int64(cfg.DimRows)), g.Uniform(int64(cfg.Dim2Rows)),
+			g.Uniform(1000),
+		))
+	}
+
+	dim1, err := cat.CreateTable("dim1", types.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "cat", Kind: types.KindInt},
+		{Name: "region", Kind: types.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.DimRows; i++ {
+		cat.Insert(nil, dim1, IntRow(int64(i), int64(i%20), int64(i%5)))
+	}
+	if _, err := cat.CreateIndex(nil, "dim1", "dim1_id", []string{"id"}, true); err != nil {
+		return nil, err
+	}
+
+	dim2, err := cat.CreateTable("dim2", types.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "zone", Kind: types.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Dim2Rows; i++ {
+		cat.Insert(nil, dim2, IntRow(int64(i), int64(i%4)))
+	}
+	if _, err := cat.CreateIndex(nil, "dim2", "dim2_id", []string{"id"}, true); err != nil {
+		return nil, err
+	}
+
+	cat.AnalyzeTable(fact, 24)
+	cat.AnalyzeTable(dim1, 8)
+	cat.AnalyzeTable(dim2, 4)
+	return cat, nil
+}
+
+// StarQuery is one generated BI query with a marker for whether it falls
+// into the correlation trap.
+type StarQuery struct {
+	SQL       string
+	Trapped   bool // contains the redundant correlated predicate pair
+	AttrValue int64
+}
+
+// StarWorkload generates n star-join queries; trapFraction of them carry
+// the redundant pseudo-key predicate that wrecks independence-based
+// estimates (these are the "problem queries" whose tail POP fixes in
+// Figures 1–3).
+func StarWorkload(cfg StarConfig, n int, trapFraction float64, seed int64) []StarQuery {
+	g := NewGen(seed)
+	out := make([]StarQuery, 0, n)
+	for i := 0; i < n; i++ {
+		attr := g.Uniform(cfg.AttrDomain)
+		zone := g.Uniform(4)
+		region := g.Uniform(5)
+		trapped := g.R.Float64() < trapFraction
+		var where string
+		if trapped {
+			where = fmt.Sprintf("fact.attr = %d AND fact.pseudo = %d", attr, attr*cfg.PseudoFactor)
+		} else {
+			where = fmt.Sprintf("fact.attr = %d", attr)
+		}
+		sql := fmt.Sprintf(`SELECT dim1.cat, COUNT(*), SUM(fact.measure) FROM fact, dim1, dim2
+			WHERE fact.d1 = dim1.id AND fact.d2 = dim2.id AND %s
+			AND dim1.region = %d AND dim2.zone = %d
+			GROUP BY dim1.cat`, where, region, zone)
+		out = append(out, StarQuery{SQL: sql, Trapped: trapped, AttrValue: attr})
+	}
+	return out
+}

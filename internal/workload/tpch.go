@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"fmt"
+
+	"rqp/internal/catalog"
+	"rqp/internal/types"
+)
+
+// TPCHConfig sizes the TPC-H-lite database. Scale 1.0 means 1500 orders /
+// 6000 lineitems — three orders of magnitude under the real benchmark, but
+// schema- and distribution-compatible, which is all the Dagstuhl test
+// suites need (their metrics are scale-free ratios).
+type TPCHConfig struct {
+	Scale float64
+	Seed  int64
+}
+
+// TPCHTables lists the tables BuildTPCH creates.
+var TPCHTables = []string{"region", "nation", "supplier", "customer", "part", "orders", "lineitem"}
+
+// BuildTPCH creates and loads the lite schema with statistics.
+func BuildTPCH(cfg TPCHConfig) (*catalog.Catalog, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	g := NewGen(cfg.Seed)
+	cat := catalog.New()
+	sc := func(base int) int {
+		n := int(float64(base) * cfg.Scale)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	nRegion := 5
+	nNation := 25
+	nSupp := sc(100)
+	nCust := sc(150)
+	nPart := sc(200)
+	nOrders := sc(1500)
+	nLine := sc(6000)
+
+	region, err := cat.CreateTable("region", types.Schema{
+		{Name: "r_regionkey", Kind: types.KindInt},
+		{Name: "r_name", Kind: types.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nRegion; i++ {
+		cat.Insert(nil, region, types.Row{types.Int(int64(i)), types.Str(g.Name("region", int64(i)))})
+	}
+
+	nation, err := cat.CreateTable("nation", types.Schema{
+		{Name: "n_nationkey", Kind: types.KindInt},
+		{Name: "n_regionkey", Kind: types.KindInt},
+		{Name: "n_name", Kind: types.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nNation; i++ {
+		cat.Insert(nil, nation, types.Row{
+			types.Int(int64(i)), types.Int(int64(i % nRegion)), types.Str(g.Name("nation", int64(i))),
+		})
+	}
+
+	supplier, err := cat.CreateTable("supplier", types.Schema{
+		{Name: "s_suppkey", Kind: types.KindInt},
+		{Name: "s_nationkey", Kind: types.KindInt},
+		{Name: "s_acctbal", Kind: types.KindFloat},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nSupp; i++ {
+		cat.Insert(nil, supplier, types.Row{
+			types.Int(int64(i)), types.Int(g.Uniform(int64(nNation))),
+			types.Float(float64(g.Uniform(100000)) / 10),
+		})
+	}
+
+	customer, err := cat.CreateTable("customer", types.Schema{
+		{Name: "c_custkey", Kind: types.KindInt},
+		{Name: "c_nationkey", Kind: types.KindInt},
+		{Name: "c_mktsegment", Kind: types.KindString},
+		{Name: "c_acctbal", Kind: types.KindFloat},
+	})
+	if err != nil {
+		return nil, err
+	}
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	for i := 0; i < nCust; i++ {
+		cat.Insert(nil, customer, types.Row{
+			types.Int(int64(i)), types.Int(g.Uniform(int64(nNation))),
+			types.Str(segments[g.Uniform(int64(len(segments)))]),
+			types.Float(float64(g.Uniform(100000)) / 10),
+		})
+	}
+
+	part, err := cat.CreateTable("part", types.Schema{
+		{Name: "p_partkey", Kind: types.KindInt},
+		{Name: "p_brand", Kind: types.KindInt},
+		{Name: "p_size", Kind: types.KindInt},
+		{Name: "p_retailprice", Kind: types.KindFloat},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nPart; i++ {
+		cat.Insert(nil, part, types.Row{
+			types.Int(int64(i)), types.Int(g.Uniform(25)), types.Int(1 + g.Uniform(50)),
+			types.Float(900 + float64(g.Uniform(1000))/10),
+		})
+	}
+
+	orders, err := cat.CreateTable("orders", types.Schema{
+		{Name: "o_orderkey", Kind: types.KindInt},
+		{Name: "o_custkey", Kind: types.KindInt},
+		{Name: "o_orderdate", Kind: types.KindDate},
+		{Name: "o_totalprice", Kind: types.KindFloat},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nOrders; i++ {
+		cat.Insert(nil, orders, types.Row{
+			types.Int(int64(i)), types.Int(g.Uniform(int64(nCust))),
+			types.Date(8000 + g.Uniform(2400)), // ~1992..1998 in days
+			types.Float(1000 + float64(g.Uniform(400000))/10),
+		})
+	}
+
+	lineitem, err := cat.CreateTable("lineitem", types.Schema{
+		{Name: "l_orderkey", Kind: types.KindInt},
+		{Name: "l_partkey", Kind: types.KindInt},
+		{Name: "l_suppkey", Kind: types.KindInt},
+		{Name: "l_quantity", Kind: types.KindInt},
+		{Name: "l_extendedprice", Kind: types.KindFloat},
+		{Name: "l_discount", Kind: types.KindFloat},
+		{Name: "l_shipdate", Kind: types.KindDate},
+		{Name: "l_returnflag", Kind: types.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	flags := []string{"A", "N", "R"}
+	for i := 0; i < nLine; i++ {
+		cat.Insert(nil, lineitem, types.Row{
+			types.Int(g.Uniform(int64(nOrders))), types.Int(g.Uniform(int64(nPart))),
+			types.Int(g.Uniform(int64(nSupp))), types.Int(1 + g.Uniform(50)),
+			types.Float(float64(g.Uniform(100000)) / 10),
+			types.Float(float64(g.Uniform(11)) / 100),
+			types.Date(8000 + g.Uniform(2500)),
+			types.Str(flags[g.Uniform(3)]),
+		})
+	}
+
+	for _, name := range TPCHTables {
+		t, _ := cat.Table(name)
+		cat.AnalyzeTable(t, 24)
+	}
+	return cat, nil
+}
+
+// TPCHQueries returns the lite query suite: recognizable reductions of
+// TPC-H Q1, Q3, Q5, Q6 and Q10 to the engine's SQL subset.
+func TPCHQueries() map[string]string {
+	return map[string]string{
+		"Q1": `SELECT l_returnflag, COUNT(*), SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount)
+			FROM lineitem WHERE l_shipdate <= DATE(10400)
+			GROUP BY l_returnflag ORDER BY l_returnflag`,
+		"Q3": `SELECT orders.o_orderkey, SUM(lineitem.l_extendedprice) AS revenue
+			FROM customer, orders, lineitem
+			WHERE customer.c_mktsegment = 'BUILDING'
+			AND customer.c_custkey = orders.o_custkey
+			AND lineitem.l_orderkey = orders.o_orderkey
+			AND orders.o_orderdate < DATE(9200)
+			GROUP BY orders.o_orderkey ORDER BY revenue DESC LIMIT 10`,
+		"Q5": `SELECT nation.n_name, SUM(lineitem.l_extendedprice) AS revenue
+			FROM customer, orders, lineitem, supplier, nation, region
+			WHERE customer.c_custkey = orders.o_custkey
+			AND lineitem.l_orderkey = orders.o_orderkey
+			AND lineitem.l_suppkey = supplier.s_suppkey
+			AND customer.c_nationkey = nation.n_nationkey
+			AND nation.n_regionkey = region.r_regionkey
+			AND orders.o_orderdate >= DATE(8400) AND orders.o_orderdate < DATE(9000)
+			GROUP BY nation.n_name ORDER BY revenue DESC`,
+		"Q6": `SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem
+			WHERE l_shipdate >= DATE(8400) AND l_shipdate < DATE(8800)
+			AND l_discount BETWEEN 0.02 AND 0.06 AND l_quantity < 24`,
+		"Q10": `SELECT customer.c_custkey, SUM(lineitem.l_extendedprice) AS revenue
+			FROM customer, orders, lineitem, nation
+			WHERE customer.c_custkey = orders.o_custkey
+			AND lineitem.l_orderkey = orders.o_orderkey
+			AND orders.o_orderdate >= DATE(8800) AND orders.o_orderdate < DATE(9100)
+			AND lineitem.l_returnflag = 'R'
+			AND customer.c_nationkey = nation.n_nationkey
+			GROUP BY customer.c_custkey ORDER BY revenue DESC LIMIT 20`,
+	}
+}
+
+// PerturbTPCHQuery produces a same-pattern variant of a suite query with
+// shifted literals — the advisor-robustness workload transformation
+// ("queries are modified but retain their patterns").
+func PerturbTPCHQuery(name string, round int) string {
+	base := TPCHQueries()
+	switch name {
+	case "Q1":
+		return fmt.Sprintf(`SELECT l_returnflag, COUNT(*), SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount)
+			FROM lineitem WHERE l_shipdate <= DATE(%d)
+			GROUP BY l_returnflag ORDER BY l_returnflag`, 9000+200*round)
+	case "Q6":
+		lo := 8200 + 150*round
+		return fmt.Sprintf(`SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem
+			WHERE l_shipdate >= DATE(%d) AND l_shipdate < DATE(%d)
+			AND l_discount BETWEEN 0.0%d AND 0.0%d AND l_quantity < %d`,
+			lo, lo+400, 1+round%3, 5+round%3, 20+2*round)
+	case "Q3":
+		segs := []string{"BUILDING", "AUTOMOBILE", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+		return fmt.Sprintf(`SELECT orders.o_orderkey, SUM(lineitem.l_extendedprice) AS revenue
+			FROM customer, orders, lineitem
+			WHERE customer.c_mktsegment = '%s'
+			AND customer.c_custkey = orders.o_custkey
+			AND lineitem.l_orderkey = orders.o_orderkey
+			AND orders.o_orderdate < DATE(%d)
+			GROUP BY orders.o_orderkey ORDER BY revenue DESC LIMIT 10`,
+			segs[round%len(segs)], 8900+150*round)
+	}
+	return base[name]
+}
