@@ -7,23 +7,100 @@
 //	rqpbench -e E1,E5,E13    # run selected experiments
 //	rqpbench -scale 0.25     # shrink workloads for a quick pass
 //	rqpbench -list           # list experiments
+//	rqpbench -json           # machine-readable results on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"rqp/internal/core"
 	"rqp/internal/experiments"
+	"rqp/internal/workload"
 )
+
+// experimentJSON is one experiment's machine-readable result.
+type experimentJSON struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	WallMS   float64            `json:"wall_ms"`
+	Headline map[string]float64 `json:"headline"`
+}
+
+// queryJSON is one traced probe query's result: the per-query numbers the
+// text reports only aggregate.
+type queryJSON struct {
+	ID            int     `json:"id"`
+	Policy        string  `json:"policy"`
+	Trapped       bool    `json:"trapped"`
+	Rows          int     `json:"rows"`
+	CostUnits     float64 `json:"cost_units"`
+	Reopts        int     `json:"reopts"`
+	QErrorGeomean float64 `json:"qerror_geomean"`
+}
+
+type benchJSON struct {
+	Scale       float64          `json:"scale"`
+	Experiments []experimentJSON `json:"experiments"`
+	Queries     []queryJSON      `json:"queries"`
+}
+
+// probeQueries runs a small correlation-trap star workload under each
+// execution policy with tracing enabled and reports per-query cost, reopt
+// count and q-error geomean.
+func probeQueries(scale float64) ([]queryJSON, error) {
+	sc := workload.DefaultStar()
+	sc.FactRows = max(500, int(float64(sc.FactRows)*scale*0.2))
+	sc.DimRows = max(200, int(float64(sc.DimRows)*scale*0.2))
+	sc.Dim2Rows = max(100, int(float64(sc.Dim2Rows)*scale*0.2))
+	queries := workload.StarWorkload(sc, 8, 0.5, 42)
+	var out []queryJSON
+	for _, pol := range []core.ExecPolicy{core.PolicyClassic, core.PolicyPOP, core.PolicyRio} {
+		cat, err := workload.BuildStar(sc)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Policy = pol
+		cfg.TraceAll = true
+		eng := core.Attach(cat, cfg)
+		for i, q := range queries {
+			res, err := eng.Exec(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("probe %s q%d: %w", pol, i, err)
+			}
+			qj := queryJSON{
+				ID: i, Policy: pol.String(), Trapped: q.Trapped,
+				Rows: len(res.Rows), CostUnits: res.Cost, Reopts: res.Reopts,
+			}
+			if res.Trace != nil {
+				qj.QErrorGeomean = res.Trace.QErrorGeomean()
+			}
+			out = append(out, qj)
+		}
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
 
 func main() {
 	var (
-		exps  = flag.String("e", "", "comma-separated experiment ids (default: all)")
-		scale = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exps     = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		scale    = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
+		jsonOut  = flag.String("o", "", "with -json, write to this file instead of stdout")
+		noProbes = flag.Bool("no-probes", false, "with -json, skip the per-query traced probes")
 	)
 	flag.Parse()
 
@@ -38,6 +115,7 @@ func main() {
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")
 	}
+	result := benchJSON{Scale: *scale, Experiments: []experimentJSON{}, Queries: []queryJSON{}}
 	failed := 0
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -49,13 +127,47 @@ func main() {
 		}
 		start := time.Now()
 		rep, err := run(*scale)
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			failed++
 			continue
 		}
-		fmt.Println(rep)
-		fmt.Printf("(%s wall time: %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *asJSON {
+			result.Experiments = append(result.Experiments, experimentJSON{
+				ID: rep.ID, Title: rep.Title,
+				WallMS:   float64(wall.Microseconds()) / 1000,
+				Headline: rep.KV,
+			})
+		} else {
+			fmt.Println(rep)
+			fmt.Printf("(%s wall time: %v)\n\n", id, wall.Round(time.Millisecond))
+		}
+	}
+	if *asJSON {
+		if !*noProbes {
+			qs, err := probeQueries(*scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "query probes failed: %v\n", err)
+				failed++
+			} else {
+				result.Queries = qs
+			}
+		}
+		raw, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		raw = append(raw, '\n')
+		if *jsonOut != "" {
+			if err := os.WriteFile(*jsonOut, raw, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			os.Stdout.Write(raw)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 
 	"rqp/internal/core"
 	"rqp/internal/opt"
+	"rqp/internal/wlm"
 	"rqp/internal/workload"
 )
 
@@ -30,6 +31,8 @@ func main() {
 		policy = flag.String("policy", "classic", "execution policy: classic | pop | pop-eager | rio")
 		mode   = flag.String("estimate", "expected", "estimation mode: expected | percentile | correlated")
 		leo    = flag.Bool("leo", false, "enable LEO execution feedback")
+		cache  = flag.Bool("cache", false, "enable the plan cache (classic policy)")
+		mpl    = flag.Int("mpl", 0, "admission control multiprogramming limit (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -59,6 +62,9 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.LEO = *leo
+	if *mpl > 0 {
+		cfg.Admission = wlm.NewAdmitter(*mpl)
+	}
 
 	var eng *core.Engine
 	switch *db {
@@ -84,7 +90,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("rqp shell (policy=%s, estimate=%s, leo=%v). End statements with ';'. \\q quits.\n",
+	if *cache {
+		eng.Cache = core.NewPlanCache(0)
+	}
+
+	fmt.Printf("rqp shell (policy=%s, estimate=%s, leo=%v). End statements with ';'. \\metrics dumps counters, \\q quits.\n",
 		*policy, *mode, *leo)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -96,6 +106,11 @@ func main() {
 		trimmed := strings.TrimSpace(line)
 		if trimmed == "\\q" || trimmed == "quit" || trimmed == "exit" {
 			return
+		}
+		if trimmed == "\\metrics" {
+			fmt.Print(eng.Metrics.Expose())
+			prompt()
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')

@@ -173,6 +173,7 @@ func (p *Progressive) Execute(q *plan.Query, ctx *exec.Context) (*Result, error)
 					}
 				}
 				res.Checks = append(res.Checks, CheckRecord{Estimated: estimated, Actual: actual, Violated: violated})
+				traceCheck(ctx, res.Steps, estimated, actual, violated)
 				if violated {
 					res.Reopts++
 					p.chargeReopt(ctx)
@@ -244,6 +245,7 @@ func (p *Progressive) Execute(q *plan.Query, ctx *exec.Context) (*Result, error)
 			}
 		}
 		res.Checks = append(res.Checks, CheckRecord{Estimated: estimated, Actual: actual, Violated: violated})
+		traceCheck(ctx, res.Steps, estimated, actual, violated)
 		if violated {
 			res.Reopts++
 			p.chargeReopt(ctx)
@@ -261,6 +263,19 @@ func (p *Progressive) Execute(q *plan.Query, ctx *exec.Context) (*Result, error)
 func (p *Progressive) chargeReopt(ctx *exec.Context) {
 	if p.ReoptCharge > 0 {
 		ctx.Clock.RowWork(int(p.ReoptCharge * 100))
+	}
+}
+
+// traceCheck reports one materialization checkpoint (and, on violation, the
+// re-optimization it triggers) to the context's tracer.
+func traceCheck(ctx *exec.Context, step int, estimated, actual float64, violated bool) {
+	if ctx.Trace == nil {
+		return
+	}
+	ctx.Trace.Event("pop.check",
+		fmt.Sprintf("step=%d est=%.0f actual=%.0f violated=%v", step, estimated, actual, violated))
+	if violated {
+		ctx.Trace.Event("pop.reopt", fmt.Sprintf("step=%d", step))
 	}
 }
 

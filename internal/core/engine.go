@@ -12,11 +12,13 @@ import (
 	"rqp/internal/catalog"
 	"rqp/internal/exec"
 	"rqp/internal/expr"
+	"rqp/internal/obs"
 	"rqp/internal/opt"
 	"rqp/internal/plan"
 	"rqp/internal/sql"
 	"rqp/internal/storage"
 	"rqp/internal/types"
+	"rqp/internal/wlm"
 )
 
 // ExecPolicy selects the execution strategy for SELECTs.
@@ -61,6 +63,14 @@ type Config struct {
 	// about (and experiment E21 reproduces).
 	AutoAnalyze         bool
 	AutoAnalyzeFraction float64
+	// TraceAll attaches a tracer to every executed SELECT so Result.Trace
+	// carries the span tree and events (EXPLAIN ANALYZE always traces,
+	// independent of this switch).
+	TraceAll bool
+	// Admission, when non-nil, gates top-level SELECT execution through a
+	// workload-management multiprogramming limit; rejected queries fail
+	// fast and are counted in the metrics registry.
+	Admission *wlm.Admitter
 }
 
 // DefaultConfig is the classic configuration.
@@ -83,6 +93,11 @@ type Engine struct {
 	// Cache, when non-nil, serves classic-policy SELECTs from the plan
 	// cache (see PlanCache). DDL and ANALYZE invalidate it.
 	Cache *PlanCache
+	// Metrics aggregates engine-wide counters, gauges and histograms
+	// (queries by policy, re-optimizations, cache hit ratio, q-error and
+	// cost distributions, memory overcommit). Expose() renders them in the
+	// Prometheus text format.
+	Metrics *obs.Registry
 }
 
 // Open creates an empty engine.
@@ -104,10 +119,11 @@ func Attach(cat *catalog.Catalog, cfg Config) *Engine {
 	o.Opt.UseFeedback = cfg.LEO
 	o.Opt.GJoinOnly = cfg.GJoinOnly
 	return &Engine{
-		Cat:   cat,
-		Opt:   o,
-		Clock: storage.NewClock(storage.DefaultCostModel()),
-		Cfg:   cfg,
+		Cat:     cat,
+		Opt:     o,
+		Clock:   storage.NewClock(storage.DefaultCostModel()),
+		Cfg:     cfg,
+		Metrics: obs.NewRegistry(),
 	}
 }
 
@@ -116,9 +132,12 @@ type Result struct {
 	Columns  []string
 	Rows     []types.Row
 	Affected int
-	Plan     string  // EXPLAIN text when requested
+	Plan     string  // EXPLAIN / EXPLAIN ANALYZE text when requested
 	Cost     float64 // simulated cost units consumed
 	Reopts   int     // POP re-optimizations performed
+	// Trace is the query's span tree and event log, present when the
+	// statement was EXPLAIN ANALYZE or Config.TraceAll is set.
+	Trace *obs.Trace
 }
 
 // Exec parses and executes one statement.
@@ -162,6 +181,13 @@ func (e *Engine) Explain(query string, params ...types.Value) (string, error) {
 func (e *Engine) execStmt(st sql.Stmt, text string, params []types.Value, explainOnly bool) (*Result, error) {
 	switch s := st.(type) {
 	case *sql.ExplainStmt:
+		if s.Analyze {
+			sel, ok := s.Inner.(*sql.SelectStmt)
+			if !ok {
+				return nil, fmt.Errorf("core: EXPLAIN ANALYZE supports SELECT only")
+			}
+			return e.explainAnalyze(sel, params)
+		}
 		return e.execStmt(s.Inner, "", params, true)
 	case *sql.SelectStmt:
 		return e.runSelect(s, text, params, explainOnly)
@@ -264,6 +290,33 @@ func (e *Engine) runSelect(s *sql.SelectStmt, text string, params []types.Value,
 }
 
 func (e *Engine) runSelectDepth(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, depth int) (*Result, error) {
+	return e.runSelectObserved(s, text, params, explainOnly, depth, false)
+}
+
+// explainAnalyze executes the SELECT under a tracer and renders the span
+// tree annotated with actual rows, per-node q-error and cost consumed,
+// followed by the engine-event log (re-optimizations, cache and memory and
+// admission decisions).
+func (e *Engine) explainAnalyze(sel *sql.SelectStmt, params []types.Value) (*Result, error) {
+	res, err := e.runSelectObserved(sel, "", params, false, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString(res.Trace.Render())
+	fmt.Fprintf(&sb, "-- %d row(s), cost %.2f units", len(res.Rows), res.Cost)
+	if res.Reopts > 0 {
+		fmt.Fprintf(&sb, ", %d reopt(s)", res.Reopts)
+	}
+	sb.WriteByte('\n')
+	res.Plan = sb.String()
+	// Like EXPLAIN, the statement's visible output is the plan, not rows.
+	res.Rows = nil
+	res.Columns = nil
+	return res, nil
+}
+
+func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, depth int, forceTrace bool) (*Result, error) {
 	expanded, err := e.expandSubqueries(s, params, depth)
 	if err != nil {
 		return nil, err
@@ -282,10 +335,34 @@ func (e *Engine) runSelectDepth(s *sql.SelectStmt, text string, params []types.V
 	if e.Cfg.MemBudgetRows > 0 {
 		ctx.Mem = exec.NewMemBroker(e.Cfg.MemBudgetRows)
 	}
+	var trace *obs.Trace
+	if (forceTrace || e.Cfg.TraceAll) && !explainOnly {
+		trace = obs.NewTrace(ctx.Clock)
+		ctx.Trace = trace
+		ctx.Mem.OnEvent = func(kind string, rows, inUse, budget int) {
+			trace.Event("mem."+kind, fmt.Sprintf("rows=%d in_use=%d budget=%d", rows, inUse, budget))
+		}
+	}
 	if e.Cfg.LEO {
 		adaptive.AttachLEO(ctx, e.Opt.Feedback)
 	}
-	res := &Result{Columns: bq.ProjNames}
+
+	// Workload-management admission: top-level executing queries only.
+	if depth == 0 && !explainOnly && e.Cfg.Admission != nil {
+		d := e.Cfg.Admission.TryAdmit()
+		if trace != nil {
+			trace.Event("wlm.admission", d.String())
+		}
+		if !d.Admitted {
+			e.Metrics.Counter("rqp_wlm_rejected_total").Inc()
+			return nil, fmt.Errorf("core: admission rejected (%s)", d)
+		}
+		e.Metrics.Counter("rqp_wlm_admitted_total").Inc()
+		defer e.Cfg.Admission.Done()
+	}
+
+	res := &Result{Columns: bq.ProjNames, Trace: trace}
+	var qerrs []float64
 
 	switch e.Cfg.Policy {
 	case PolicyPOP, PolicyPOPEager:
@@ -310,9 +387,12 @@ func (e *Engine) runSelectDepth(s *sql.SelectStmt, text string, params []types.V
 		}
 		res.Rows = pres.Rows
 		res.Reopts = pres.Reopts
+		for _, c := range pres.Checks {
+			qerrs = append(qerrs, obs.QError(c.Estimated, c.Actual))
+		}
 	case PolicyRio:
 		rio := &adaptive.Rio{Opt: e.Opt, UncertaintyFactor: 4}
-		root, _, err := rio.Choose(bq, params)
+		root, choice, err := rio.Choose(bq, params)
 		if err != nil {
 			return nil, err
 		}
@@ -320,20 +400,42 @@ func (e *Engine) runSelectDepth(s *sql.SelectStmt, text string, params []types.V
 			res.Plan = plan.Explain(root)
 			return res, nil
 		}
+		if trace != nil {
+			trace.Event("rio.choice",
+				fmt.Sprintf("robust=%v regret=%.2f sig=%s", choice.Robust, choice.MaxRegret, choice.Sig))
+		}
+		e.Metrics.Counter("rqp_rio_choices_total", obs.L("robust", fmt.Sprintf("%v", choice.Robust))).Inc()
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
 		}
 		res.Rows = rows
 		res.Plan = plan.ExplainActual(root)
+		qerrs = nodeQErrors(root)
 	default:
 		var root plan.Node
 		if e.Cache != nil && text != "" {
-			cachedRoot, _, _, err := e.Cache.Plan(e, text, params)
+			cachedRoot, _, hit, err := e.Cache.Plan(e, text, params)
 			if err != nil {
 				return nil, err
 			}
 			root = cachedRoot
+			if hit {
+				e.Metrics.Counter("rqp_plan_cache_hits_total").Inc()
+			} else {
+				e.Metrics.Counter("rqp_plan_cache_misses_total").Inc()
+			}
+			if trace != nil {
+				if hit {
+					trace.Event("plancache.hit", "")
+				} else {
+					trace.Event("plancache.miss", "")
+				}
+			}
+			st := e.Cache.Stats()
+			if tot := st.Hits + st.Misses; tot > 0 {
+				e.Metrics.Gauge("rqp_plan_cache_hit_ratio").Set(float64(st.Hits) / float64(tot))
+			}
 		} else {
 			var err error
 			root, err = e.Opt.Optimize(bq, params)
@@ -351,10 +453,44 @@ func (e *Engine) runSelectDepth(s *sql.SelectStmt, text string, params []types.V
 		}
 		res.Rows = rows
 		res.Plan = plan.ExplainActual(root)
+		qerrs = nodeQErrors(root)
 	}
 	res.Cost = ctx.Clock.Units()
 	e.Clock.RowWork(int(res.Cost * 100)) // fold into the engine-lifetime clock
+	if depth == 0 {
+		e.recordQueryMetrics(res, ctx, qerrs)
+	}
 	return res, nil
+}
+
+// nodeQErrors collects per-operator q-errors from an executed plan.
+func nodeQErrors(root plan.Node) []float64 {
+	var out []float64
+	plan.Walk(root, func(n plan.Node) {
+		p := n.Props()
+		if p.ActualRows >= 0 {
+			out = append(out, obs.QError(p.EstRows, p.ActualRows))
+		}
+	})
+	return out
+}
+
+// recordQueryMetrics aggregates one finished query into the engine-wide
+// registry.
+func (e *Engine) recordQueryMetrics(res *Result, ctx *exec.Context, qerrs []float64) {
+	m := e.Metrics
+	m.Counter("rqp_queries_total", obs.L("policy", e.Cfg.Policy.String())).Inc()
+	m.Histogram("rqp_query_cost_units", obs.CostBuckets).Observe(res.Cost)
+	if res.Reopts > 0 {
+		m.Counter("rqp_reopts_total").Add(int64(res.Reopts))
+	}
+	for _, q := range qerrs {
+		m.Histogram("rqp_qerror", obs.QErrorBuckets).Observe(q)
+	}
+	if oc := ctx.Mem.Overcommits(); oc > 0 {
+		m.Counter("rqp_mem_overcommit_total").Add(int64(oc))
+	}
+	m.Gauge("rqp_mem_peak_rows").Set(float64(ctx.Mem.PeakUse()))
 }
 
 func (e *Engine) execInsert(s *sql.InsertStmt, params []types.Value) (*Result, error) {

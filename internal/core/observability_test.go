@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rqp/internal/types"
+	"rqp/internal/wlm"
+	"rqp/internal/workload"
+)
+
+// TestExplainAnalyzeRendersActuals: EXPLAIN ANALYZE executes the query and
+// prints a plan tree with estimated rows, actual rows and per-node q-error.
+func TestExplainAnalyzeRendersActuals(t *testing.T) {
+	e := newEngine(t)
+	r := e.MustExec("EXPLAIN ANALYZE SELECT dept, COUNT(*) FROM emp WHERE salary >= 40000 GROUP BY dept")
+	if len(r.Rows) != 0 {
+		t.Fatalf("EXPLAIN ANALYZE must not return rows, got %d", len(r.Rows))
+	}
+	if r.Trace == nil {
+		t.Fatal("EXPLAIN ANALYZE must attach a trace")
+	}
+	for _, want := range []string{"est=", "actual=", "q=", "cost=", "row(s)"} {
+		if !strings.Contains(r.Plan, want) {
+			t.Fatalf("EXPLAIN ANALYZE output missing %q:\n%s", want, r.Plan)
+		}
+	}
+	// The span tree must mirror an executed plan: multiple indented lines.
+	if len(strings.Split(strings.TrimSpace(r.Plan), "\n")) < 3 {
+		t.Fatalf("EXPLAIN ANALYZE output suspiciously small:\n%s", r.Plan)
+	}
+	if r.Cost <= 0 {
+		t.Fatal("EXPLAIN ANALYZE must execute (cost > 0)")
+	}
+	// The JSON dump round-trips.
+	if raw, err := r.Trace.JSON(); err != nil || len(raw) == 0 {
+		t.Fatalf("trace JSON dump failed: %v", err)
+	}
+}
+
+// TestExplainAnalyzeRejectsNonSelect: only SELECT can be analyzed.
+func TestExplainAnalyzeStillExplainsWithoutExecuting(t *testing.T) {
+	e := newEngine(t)
+	r := e.MustExec("EXPLAIN SELECT dept FROM emp WHERE dept = 1")
+	if strings.Contains(r.Plan, "actual=") {
+		t.Fatalf("plain EXPLAIN must not execute:\n%s", r.Plan)
+	}
+}
+
+// TestTracedPOPRecordsReopts: a traced POP run over the correlation-trap
+// star workload records at least one re-optimization event.
+func TestTracedPOPRecordsReopts(t *testing.T) {
+	sc := workload.DefaultStar()
+	sc.FactRows, sc.DimRows, sc.Dim2Rows = 4000, 1200, 500
+	cat, err := workload.BuildStar(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyPOP
+	cfg.TraceAll = true
+	e := Attach(cat, cfg)
+
+	reopts, reoptEvents, checkEvents := 0, 0, 0
+	for _, q := range workload.StarWorkload(sc, 20, 1.0, 7) {
+		r, err := e.Exec(q.SQL)
+		if err != nil {
+			t.Fatalf("pop exec: %v", err)
+		}
+		if r.Trace == nil {
+			t.Fatal("TraceAll must attach a trace")
+		}
+		reopts += r.Reopts
+		reoptEvents += r.Trace.CountEvents("pop.reopt")
+		checkEvents += r.Trace.CountEvents("pop.check")
+	}
+	if reopts < 1 {
+		t.Fatal("trapped star workload produced no POP re-optimizations")
+	}
+	if reoptEvents != reopts {
+		t.Fatalf("trace recorded %d pop.reopt events for %d reopts", reoptEvents, reopts)
+	}
+	if checkEvents < reoptEvents {
+		t.Fatalf("checks (%d) < reopts (%d)", checkEvents, reoptEvents)
+	}
+	// The registry aggregated them too.
+	if v := e.Metrics.Counter("rqp_reopts_total").Value(); v != int64(reopts) {
+		t.Fatalf("rqp_reopts_total = %d, want %d", v, reopts)
+	}
+}
+
+// TestMetricsExposition: after a mixed workload the exposition includes
+// query counts by policy, the plan-cache hit ratio and a q-error histogram.
+func TestMetricsExposition(t *testing.T) {
+	e := newEngine(t)
+	e.Cache = NewPlanCache(0)
+	q := "SELECT dept, COUNT(*) FROM emp GROUP BY dept"
+	for i := 0; i < 3; i++ {
+		e.MustExec(q)
+	}
+	out := e.Metrics.Expose()
+	for _, want := range []string{
+		`rqp_queries_total{policy="classic"} 3`,
+		"# TYPE rqp_plan_cache_hit_ratio gauge",
+		"# TYPE rqp_qerror histogram",
+		"rqp_qerror_bucket",
+		"# TYPE rqp_query_cost_units histogram",
+		"rqp_plan_cache_hits_total 2",
+		"rqp_plan_cache_misses_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Hit ratio after 1 miss + 2 hits.
+	if !strings.Contains(out, "rqp_plan_cache_hit_ratio 0.6666666666666666") {
+		t.Fatalf("unexpected hit ratio in:\n%s", out)
+	}
+}
+
+// TestMemOvercommitSurfaces: a sort under a starved memory budget
+// overcommits via the progress floor; the registry must count it.
+func TestMemOvercommitSurfaces(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemBudgetRows = 8 // below the 16-row progress floor
+	e := Open(cfg)
+	e.MustExec("CREATE TABLE s (a int)")
+	for i := 0; i < 100; i++ {
+		e.MustExec("INSERT INTO s VALUES (?)", types.Int(int64(99-i)))
+	}
+	e.MustExec("ANALYZE s")
+	r := e.MustExec("SELECT a FROM s ORDER BY a")
+	if len(r.Rows) != 100 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if v := e.Metrics.Counter("rqp_mem_overcommit_total").Value(); v < 1 {
+		t.Fatal("overcommit under a starved budget was not counted")
+	}
+	if !strings.Contains(e.Metrics.Expose(), "rqp_mem_overcommit_total") {
+		t.Fatal("exposition missing overcommit counter")
+	}
+}
+
+// TestAdmissionControl: a full MPL gate rejects queries and the registry
+// counts both outcomes; EXPLAIN ANALYZE traces the admission decision.
+func TestAdmissionControl(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Admission = wlm.NewAdmitter(1)
+	e := Open(cfg)
+	e.MustExec("CREATE TABLE t (a int)")
+	e.MustExec("INSERT INTO t VALUES (1), (2), (3)")
+	e.MustExec("ANALYZE t")
+
+	r := e.MustExec("EXPLAIN ANALYZE SELECT a FROM t")
+	if r.Trace.CountEvents("wlm.admission") != 1 {
+		t.Fatal("admission decision not traced")
+	}
+
+	// Hold the only slot: the next query must be rejected.
+	cfg.Admission.TryAdmit()
+	if _, err := e.Exec("SELECT a FROM t"); err == nil || !strings.Contains(err.Error(), "admission rejected") {
+		t.Fatalf("expected admission rejection, got %v", err)
+	}
+	cfg.Admission.Done()
+	if _, err := e.Exec("SELECT a FROM t"); err != nil {
+		t.Fatalf("after release, query must run: %v", err)
+	}
+	if e.Metrics.Counter("rqp_wlm_rejected_total").Value() != 1 {
+		t.Fatal("rejection not counted")
+	}
+	if e.Metrics.Counter("rqp_wlm_admitted_total").Value() < 2 {
+		t.Fatal("admissions not counted")
+	}
+}
+
+// TestTraceMemEvents: a traced query whose sort takes memory grants logs
+// mem.grant/mem.release events.
+func TestTraceMemEvents(t *testing.T) {
+	e := newEngine(t)
+	r := e.MustExec("EXPLAIN ANALYZE SELECT salary FROM emp ORDER BY salary")
+	if r.Trace.CountEvents("mem.grant") < 1 {
+		t.Fatal("no mem.grant events traced")
+	}
+	if r.Trace.CountEvents("mem.release") < 1 {
+		t.Fatal("no mem.release events traced")
+	}
+}

@@ -7,9 +7,11 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"rqp/internal/obs"
 	"rqp/internal/plan"
 	"rqp/internal/storage"
 	"rqp/internal/types"
@@ -23,6 +25,10 @@ type Context struct {
 	// OnActual, if set, is invoked for every node when its operator
 	// finishes, with the observed output cardinality (LEO feedback hook).
 	OnActual func(node plan.Node, actual float64)
+	// Trace, if set, collects a span per operator (cost consumed, rows
+	// estimated vs. actual) plus engine-level events. Untraced runs pay
+	// nothing beyond a nil check per operator call.
+	Trace *obs.Trace
 }
 
 // NewContext returns a context over a fresh clock and an effectively
@@ -39,9 +45,15 @@ func NewContext() *Context {
 // grant at phase boundaries, which is exactly the "grow & shrink memory"
 // robustness technique from the report's execution sessions.
 type MemBroker struct {
-	mu     sync.Mutex
-	budget int
-	inUse  int
+	mu          sync.Mutex
+	budget      int
+	inUse       int
+	peak        int
+	overcommits int
+	// OnEvent, if set, observes every grant and release ("grant" or
+	// "release", the rows moved, in-use after, and the budget) — the trace
+	// hook for memory-pressure diagnostics.
+	OnEvent func(kind string, rows, inUse, budget int)
 }
 
 // NewMemBroker returns a broker with the given total budget in rows.
@@ -66,9 +78,10 @@ func (m *MemBroker) Budget() int {
 
 // Grant requests up to want rows of workspace; the broker returns what it
 // can give (at least min(want, 16) so operators always make progress).
+// Progress-floor grants can push use past the budget; such overcommits are
+// counted and surfaced through Overcommits and the metrics registry.
 func (m *MemBroker) Grant(want int) int {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	avail := m.budget - m.inUse
 	g := want
 	if g > avail {
@@ -82,17 +95,47 @@ func (m *MemBroker) Grant(want int) int {
 		g = floor
 	}
 	m.inUse += g
+	if m.inUse > m.budget {
+		m.overcommits++
+	}
+	if m.inUse > m.peak {
+		m.peak = m.inUse
+	}
+	ev, inUse, budget := m.OnEvent, m.inUse, m.budget
+	m.mu.Unlock()
+	if ev != nil {
+		ev("grant", g, inUse, budget)
+	}
 	return g
 }
 
 // Release returns a grant to the pool.
 func (m *MemBroker) Release(rows int) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.inUse -= rows
 	if m.inUse < 0 {
 		m.inUse = 0
 	}
+	ev, inUse, budget := m.OnEvent, m.inUse, m.budget
+	m.mu.Unlock()
+	if ev != nil {
+		ev("release", rows, inUse, budget)
+	}
+}
+
+// Overcommits reports how many grants pushed use beyond the budget (the
+// progress floor guarantees forward progress at the price of overcommit).
+func (m *MemBroker) Overcommits() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.overcommits
+}
+
+// PeakUse reports the high-water mark of granted rows.
+func (m *MemBroker) PeakUse() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
 }
 
 // InUse reports granted rows.
@@ -110,18 +153,39 @@ type Operator interface {
 }
 
 // counted wraps an operator to record its output cardinality into the plan
-// node's Props and fire the feedback hook.
+// node's Props, fire the feedback hook, and (when tracing) accrue the
+// node's span with cost and call counts.
 type counted struct {
 	op   Operator
 	node plan.Node
 	ctx  *Context
+	span *obs.Span // nil when untraced
 	n    float64
 	done bool
 }
 
-func (c *counted) Open() error { return c.op.Open() }
+func (c *counted) Open() error {
+	if c.span == nil {
+		return c.op.Open()
+	}
+	w := c.ctx.Clock.StartWatch()
+	err := c.op.Open()
+	c.span.AddCost(w.Elapsed())
+	return err
+}
 
 func (c *counted) Next() (types.Row, bool, error) {
+	if c.span == nil {
+		return c.next()
+	}
+	w := c.ctx.Clock.StartWatch()
+	r, ok, err := c.next()
+	c.span.AddCost(w.Elapsed())
+	c.span.AddCall()
+	return r, ok, err
+}
+
+func (c *counted) next() (types.Row, bool, error) {
 	r, ok, err := c.op.Next()
 	if err != nil {
 		return nil, false, err
@@ -140,6 +204,9 @@ func (c *counted) finish() {
 	}
 	c.done = true
 	c.node.Props().ActualRows = c.n
+	if c.span != nil {
+		c.span.Finish(c.n)
+	}
 	if c.ctx.OnActual != nil {
 		c.ctx.OnActual(c.node, c.n)
 	}
@@ -147,11 +214,22 @@ func (c *counted) finish() {
 
 func (c *counted) Close() error {
 	c.finish()
-	return c.op.Close()
+	if c.span == nil {
+		return c.op.Close()
+	}
+	w := c.ctx.Clock.StartWatch()
+	err := c.op.Close()
+	c.span.AddCost(w.Elapsed())
+	return err
 }
 
-// Build constructs the operator tree for a physical plan.
+// Build constructs the operator tree for a physical plan. When the context
+// carries a tracer, a span-tree fragment mirroring the plan is registered
+// so every operator reports cost and cardinality into it.
 func Build(n plan.Node, ctx *Context) (Operator, error) {
+	if ctx.Trace != nil {
+		ctx.Trace.AddFragment(n)
+	}
 	op, err := build(n, ctx)
 	if err != nil {
 		return nil, err
@@ -242,7 +320,11 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 	default:
 		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 	}
-	return &counted{op: op, node: n, ctx: ctx}, nil
+	var span *obs.Span
+	if ctx.Trace != nil {
+		span = ctx.Trace.SpanOf(n)
+	}
+	return &counted{op: op, node: n, ctx: ctx, span: span}, nil
 }
 
 // Run executes a plan to completion and returns all result rows. Actual
@@ -252,6 +334,13 @@ func Run(n plan.Node, ctx *Context) ([]types.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runOp(op)
+}
+
+// runOp drains an operator to exhaustion. A Close failure after a Next
+// failure is joined onto the original error rather than discarded, so
+// resource-release problems surface.
+func runOp(op Operator) ([]types.Row, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -259,7 +348,9 @@ func Run(n plan.Node, ctx *Context) ([]types.Row, error) {
 	for {
 		r, ok, err := op.Next()
 		if err != nil {
-			op.Close()
+			if cerr := op.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return nil, err
 		}
 		if !ok {

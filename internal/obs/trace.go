@@ -1,0 +1,330 @@
+// Package obs is the engine's observability layer: per-query span traces
+// that mirror the operator tree (estimated vs. actual cardinality, q-error,
+// simulated cost consumed), engine-level events (POP re-optimizations, Rio
+// plan choices, plan-cache hits, memory grants, admission decisions), and a
+// lock-cheap metrics registry with a Prometheus-style text exposition. The
+// Dagstuhl report's position is that robustness must be measured, not
+// assumed — this package is where every robustness experiment reads its
+// per-operator estimated-vs-actual signal from.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"rqp/internal/plan"
+	"rqp/internal/storage"
+)
+
+// QError returns max(est/actual, actual/est) with both floored at one row —
+// the multiplicative cardinality-error metric (Moerkotte et al.).
+func QError(estimated, actual float64) float64 {
+	e := math.Max(estimated, 1)
+	a := math.Max(actual, 1)
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
+
+// Span is one operator's trace record. Cost is inclusive (it contains the
+// children's cost, because an operator's Next drives its children); the
+// renderer derives self-cost by subtracting the children.
+type Span struct {
+	mu       sync.Mutex
+	label    string
+	estRows  float64
+	actual   float64 // -1 until finished
+	cost     float64 // inclusive cost units
+	calls    int64   // Next invocations
+	finished bool
+	children []*Span
+}
+
+// Label returns the operator label.
+func (s *Span) Label() string { return s.label }
+
+// EstRows returns the optimizer's cardinality estimate.
+func (s *Span) EstRows() float64 { return s.estRows }
+
+// ActualRows returns the observed output cardinality, or -1 if the operator
+// never finished.
+func (s *Span) ActualRows() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.finished {
+		return -1
+	}
+	return s.actual
+}
+
+// Cost returns inclusive cost units consumed under this span.
+func (s *Span) Cost() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cost
+}
+
+// Calls returns the number of Next invocations.
+func (s *Span) Calls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// Children returns the child spans (operator-tree order).
+func (s *Span) Children() []*Span { return s.children }
+
+// AddCost accrues cost units (called around Open/Next/Close).
+func (s *Span) AddCost(units float64) {
+	s.mu.Lock()
+	s.cost += units
+	s.mu.Unlock()
+}
+
+// AddCall counts one Next invocation.
+func (s *Span) AddCall() {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+}
+
+// Finish records the observed output cardinality (first call wins).
+func (s *Span) Finish(actual float64) {
+	s.mu.Lock()
+	if !s.finished {
+		s.finished = true
+		s.actual = actual
+	}
+	s.mu.Unlock()
+}
+
+// QError returns the span's cardinality q-error, or 0 if unfinished.
+func (s *Span) QError() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.finished {
+		return 0
+	}
+	return QError(s.estRows, s.actual)
+}
+
+// SelfCost returns the span's cost minus its children's.
+func (s *Span) SelfCost() float64 {
+	c := s.Cost()
+	for _, ch := range s.children {
+		c -= ch.Cost()
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// spanJSON is the exported dump shape.
+type spanJSON struct {
+	Label      string     `json:"label"`
+	EstRows    float64    `json:"est_rows"`
+	ActualRows float64    `json:"actual_rows"`
+	QError     float64    `json:"qerror,omitempty"`
+	Cost       float64    `json:"cost_units"`
+	SelfCost   float64    `json:"self_cost_units"`
+	Calls      int64      `json:"next_calls"`
+	Children   []spanJSON `json:"children,omitempty"`
+}
+
+func (s *Span) toJSON() spanJSON {
+	j := spanJSON{
+		Label:      s.Label(),
+		EstRows:    s.EstRows(),
+		ActualRows: s.ActualRows(),
+		QError:     s.QError(),
+		Cost:       s.Cost(),
+		SelfCost:   s.SelfCost(),
+		Calls:      s.Calls(),
+	}
+	for _, c := range s.children {
+		j.Children = append(j.Children, c.toJSON())
+	}
+	return j
+}
+
+// Event is one engine-level occurrence (re-optimization, plan-cache hit,
+// memory grant, admission decision, ...), timestamped in clock cost units.
+type Event struct {
+	At     float64 `json:"at_units"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Trace collects one query's spans and events.
+type Trace struct {
+	mu     sync.Mutex
+	clock  *storage.Clock
+	roots  []*Span
+	spans  map[plan.Node]*Span
+	events []Event
+}
+
+// NewTrace returns a trace timestamping events on the given clock (nil is
+// allowed; events are then stamped at 0).
+func NewTrace(clock *storage.Clock) *Trace {
+	return &Trace{clock: clock, spans: map[plan.Node]*Span{}}
+}
+
+// AddFragment builds a span tree mirroring the plan fragment and registers
+// every node. Progressive execution runs several fragments per query; each
+// exec.Build call adds one. Re-adding a known root is a no-op.
+func (t *Trace) AddFragment(root plan.Node) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.spans[root]; ok {
+		return s
+	}
+	s := t.buildSpan(root)
+	t.roots = append(t.roots, s)
+	return s
+}
+
+func (t *Trace) buildSpan(n plan.Node) *Span {
+	s := &Span{label: n.Label(), estRows: n.Props().EstRows, actual: -1}
+	for _, c := range n.Children() {
+		s.children = append(s.children, t.buildSpan(c))
+	}
+	t.spans[n] = s
+	return s
+}
+
+// SpanOf returns the span registered for a plan node, or nil.
+func (t *Trace) SpanOf(n plan.Node) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans[n]
+}
+
+// Roots returns the fragment roots in execution order.
+func (t *Trace) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Event records an engine-level event at the current clock time.
+func (t *Trace) Event(kind, detail string) {
+	at := 0.0
+	if t.clock != nil {
+		at = t.clock.Units()
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{At: at, Kind: kind, Detail: detail})
+	t.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// CountEvents returns how many events of the given kind were recorded.
+func (t *Trace) CountEvents(kind string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// QErrorGeomean returns the geometric mean q-error over all finished spans
+// (0 when nothing finished) — the per-query headline number benchmarks track.
+func (t *Trace) QErrorGeomean() float64 {
+	t.mu.Lock()
+	spans := make([]*Span, 0, len(t.spans))
+	for _, s := range t.spans {
+		spans = append(spans, s)
+	}
+	t.mu.Unlock()
+	logSum, n := 0.0, 0
+	for _, s := range spans {
+		if q := s.QError(); q > 0 {
+			logSum += math.Log(q)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Render formats the trace as an EXPLAIN ANALYZE tree: one line per
+// operator with estimated rows, actual rows, q-error and cost, followed by
+// the engine-event log. Unexecuted operators show actual=-.
+func (t *Trace) Render() string {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+
+	var sb strings.Builder
+	for i, r := range roots {
+		if len(roots) > 1 {
+			fmt.Fprintf(&sb, "-- fragment %d --\n", i+1)
+		}
+		renderSpan(&sb, r, 0)
+	}
+	if len(events) > 0 {
+		sb.WriteString("-- events --\n")
+		for _, e := range events {
+			fmt.Fprintf(&sb, "[%8.2f] %s", e.At, e.Kind)
+			if e.Detail != "" {
+				sb.WriteByte(' ')
+				sb.WriteString(e.Detail)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, s *Span, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	actual := s.ActualRows()
+	if actual >= 0 {
+		fmt.Fprintf(sb, "%s (est=%.0f actual=%.0f q=%.2f cost=%.2f self=%.2f)\n",
+			s.Label(), s.EstRows(), actual, s.QError(), s.Cost(), s.SelfCost())
+	} else {
+		fmt.Fprintf(sb, "%s (est=%.0f actual=- cost=%.2f self=%.2f)\n",
+			s.Label(), s.EstRows(), s.Cost(), s.SelfCost())
+	}
+	for _, c := range s.Children() {
+		renderSpan(sb, c, depth+1)
+	}
+}
+
+// traceJSON is the dump shape of a whole trace.
+type traceJSON struct {
+	Fragments []spanJSON `json:"fragments"`
+	Events    []Event    `json:"events,omitempty"`
+}
+
+// JSON dumps the trace (span trees plus events) as indented JSON.
+func (t *Trace) JSON() ([]byte, error) {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	d := traceJSON{Events: events}
+	for _, r := range roots {
+		d.Fragments = append(d.Fragments, r.toJSON())
+	}
+	return json.MarshalIndent(d, "", "  ")
+}

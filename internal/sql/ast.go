@@ -290,8 +290,13 @@ type AnalyzeStmt struct{ Table string }
 
 func (*AnalyzeStmt) stmt() {}
 
-// ExplainStmt wraps another statement.
-type ExplainStmt struct{ Inner Stmt }
+// ExplainStmt wraps another statement. Analyze marks EXPLAIN ANALYZE: the
+// inner SELECT is executed under a tracer and the plan is rendered with
+// actual cardinalities, per-node q-error and cost consumed.
+type ExplainStmt struct {
+	Inner   Stmt
+	Analyze bool
+}
 
 func (*ExplainStmt) stmt() {}
 

@@ -62,11 +62,20 @@ func (p *parser) parseStmt() (Stmt, error) {
 	switch {
 	case p.at(TokKeyword, "EXPLAIN"):
 		p.pos++
+		// EXPLAIN ANALYZE SELECT ... executes under a tracer. Plain
+		// "EXPLAIN ANALYZE t" still explains the ANALYZE statement, so only
+		// consume ANALYZE when a SELECT follows.
+		analyze := false
+		if p.at(TokKeyword, "ANALYZE") && p.pos+1 < len(p.toks) &&
+			p.toks[p.pos+1].Kind == TokKeyword && p.toks[p.pos+1].Text == "SELECT" {
+			analyze = true
+			p.pos++
+		}
 		inner, err := p.parseStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Inner: inner}, nil
+		return &ExplainStmt{Inner: inner, Analyze: analyze}, nil
 	case p.at(TokKeyword, "SELECT"):
 		return p.parseSelect()
 	case p.at(TokKeyword, "INSERT"):

@@ -247,6 +247,42 @@ func TestParseExplainAnalyzeDeleteUpdate(t *testing.T) {
 	}
 }
 
+func TestParseExplainAnalyzeSelect(t *testing.T) {
+	st, err := Parse("EXPLAIN ANALYZE SELECT a FROM t WHERE b = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*ExplainStmt)
+	if !ok || !ex.Analyze {
+		t.Fatalf("want ExplainStmt{Analyze:true}, got %#v", st)
+	}
+	if _, ok := ex.Inner.(*SelectStmt); !ok {
+		t.Fatalf("inner is %T, want SelectStmt", ex.Inner)
+	}
+
+	// Plain EXPLAIN of a SELECT stays non-analyze.
+	st2, err := Parse("EXPLAIN SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2 := st2.(*ExplainStmt); ex2.Analyze {
+		t.Fatal("plain EXPLAIN must not set Analyze")
+	}
+
+	// EXPLAIN ANALYZE <table> still means "explain the ANALYZE statement".
+	st3, err := Parse("EXPLAIN ANALYZE t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex3 := st3.(*ExplainStmt)
+	if ex3.Analyze {
+		t.Fatal("EXPLAIN ANALYZE t must not set Analyze")
+	}
+	if an, ok := ex3.Inner.(*AnalyzeStmt); !ok || an.Table != "t" {
+		t.Fatalf("inner is %#v, want AnalyzeStmt{t}", ex3.Inner)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",

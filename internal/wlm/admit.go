@@ -1,0 +1,76 @@
+package wlm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Admitter is live admission control: a multiprogramming-limit gate the
+// engine consults before running a query. It is the on-line counterpart of
+// SimulateProcessorSharing's MPL gate — same policy, applied to real
+// concurrent sessions instead of simulated jobs. Decisions are reported to
+// the caller so the observability layer can trace and count them.
+type Admitter struct {
+	mu       sync.Mutex
+	mpl      int // 0 = unlimited
+	active   int
+	peak     int
+	admitted int64
+	rejected int64
+}
+
+// NewAdmitter returns a gate admitting at most mpl concurrent queries
+// (0 = unlimited).
+func NewAdmitter(mpl int) *Admitter {
+	return &Admitter{mpl: mpl}
+}
+
+// Decision is one admission outcome.
+type Decision struct {
+	Admitted bool
+	Active   int // concurrently admitted queries after this decision
+	MPL      int
+}
+
+// String renders the decision for trace events.
+func (d Decision) String() string {
+	verdict := "admitted"
+	if !d.Admitted {
+		verdict = "rejected"
+	}
+	return fmt.Sprintf("%s active=%d mpl=%d", verdict, d.Active, d.MPL)
+}
+
+// TryAdmit requests a slot. Rejection is immediate (no queueing): the
+// caller decides whether to fail the query or retry.
+func (a *Admitter) TryAdmit() Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.mpl > 0 && a.active >= a.mpl {
+		a.rejected++
+		return Decision{Admitted: false, Active: a.active, MPL: a.mpl}
+	}
+	a.active++
+	a.admitted++
+	if a.active > a.peak {
+		a.peak = a.active
+	}
+	return Decision{Admitted: true, Active: a.active, MPL: a.mpl}
+}
+
+// Done releases a previously admitted slot.
+func (a *Admitter) Done() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active > 0 {
+		a.active--
+	}
+}
+
+// Stats reports lifetime admissions, rejections, current and peak
+// concurrency.
+func (a *Admitter) Stats() (admitted, rejected int64, active, peak int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.admitted, a.rejected, a.active, a.peak
+}

@@ -1,0 +1,64 @@
+package wlm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAdmitterMPLGate(t *testing.T) {
+	a := NewAdmitter(2)
+	d1 := a.TryAdmit()
+	d2 := a.TryAdmit()
+	if !d1.Admitted || !d2.Admitted {
+		t.Fatal("first two admissions must pass")
+	}
+	d3 := a.TryAdmit()
+	if d3.Admitted {
+		t.Fatal("third admission must be rejected at mpl=2")
+	}
+	if !strings.Contains(d3.String(), "rejected") {
+		t.Fatalf("decision string %q should mention rejection", d3.String())
+	}
+	a.Done()
+	if d := a.TryAdmit(); !d.Admitted {
+		t.Fatal("a released slot must be reusable")
+	}
+	admitted, rejected, active, peak := a.Stats()
+	if admitted != 3 || rejected != 1 || active != 2 || peak != 2 {
+		t.Fatalf("stats = (%d,%d,%d,%d), want (3,1,2,2)", admitted, rejected, active, peak)
+	}
+}
+
+func TestAdmitterUnlimited(t *testing.T) {
+	a := NewAdmitter(0)
+	for i := 0; i < 50; i++ {
+		if !a.TryAdmit().Admitted {
+			t.Fatal("mpl=0 must never reject")
+		}
+	}
+}
+
+func TestAdmitterConcurrent(t *testing.T) {
+	a := NewAdmitter(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if a.TryAdmit().Admitted {
+					a.Done()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	_, _, active, peak := a.Stats()
+	if active != 0 {
+		t.Fatalf("active = %d after all Done, want 0", active)
+	}
+	if peak > 4 {
+		t.Fatalf("peak = %d, exceeded mpl 4", peak)
+	}
+}
