@@ -8,6 +8,7 @@ package rqp
 // regenerates every result with both wall-clock and simulated-cost views.
 
 import (
+	"fmt"
 	"testing"
 
 	"rqp/internal/adaptive"
@@ -158,6 +159,104 @@ func BenchmarkHashJoinExecution(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------- morsel-driven parallel execution ----------
+
+// parallelBenchCatalog builds a fact table large enough for many scan
+// morsels plus a dimension to join against.
+func parallelBenchCatalog(b *testing.B) *catalog.Catalog {
+	b.Helper()
+	cat := catalog.New()
+	f, _ := cat.CreateTable("f", types.Schema{
+		{Name: "k", Kind: types.KindInt},
+		{Name: "g", Kind: types.KindInt},
+		{Name: "v", Kind: types.KindInt},
+	})
+	d, _ := cat.CreateTable("d", types.Schema{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "w", Kind: types.KindInt},
+	})
+	const factRows, dimRows = 120000, 8000
+	for i := 0; i < factRows; i++ {
+		cat.Insert(nil, f, types.Row{
+			types.Int(int64(i % dimRows)), types.Int(int64(i % 31)), types.Int(int64(i)),
+		})
+	}
+	for i := 0; i < dimRows; i++ {
+		cat.Insert(nil, d, types.Row{types.Int(int64(i)), types.Int(int64(i * 3))})
+	}
+	cat.AnalyzeTable(f, 16)
+	cat.AnalyzeTable(d, 16)
+	return cat
+}
+
+func parallelBenchPlan(b *testing.B, cat *catalog.Catalog, q string) plan.Node {
+	b.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bq, err := plan.Bind(st.(*sql.SelectStmt), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := opt.New(cat).Optimize(bq, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan.Walk(root, func(n plan.Node) {
+		switch v := n.(type) {
+		case *plan.JoinNode:
+			v.Alg = plan.JoinHash
+		case *plan.AggNode:
+			v.Alg = plan.AggHash
+		}
+	})
+	return root
+}
+
+// benchParallelQuery measures one query serial and at DOP 2/4/8 (fresh
+// plans per sub-benchmark: marking mutates plan annotations).
+func benchParallelQuery(b *testing.B, cat *catalog.Catalog, q string) {
+	b.Run("serial", func(b *testing.B) {
+		root := parallelBenchPlan(b, cat, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Run(root, exec.NewContext()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, dop := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			root := parallelBenchPlan(b, cat, q)
+			plan.MarkParallel(root, exec.ParallelMinRows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := exec.NewContext()
+				ctx.DOP = dop
+				if _, err := exec.Run(root, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelScan(b *testing.B) {
+	cat := parallelBenchCatalog(b)
+	benchParallelQuery(b, cat, `SELECT f.v FROM f WHERE f.v < 90000`)
+}
+
+func BenchmarkParallelHashJoin(b *testing.B) {
+	cat := parallelBenchCatalog(b)
+	benchParallelQuery(b, cat, `SELECT COUNT(*) FROM f, d WHERE f.k = d.id`)
+}
+
+func BenchmarkParallelAgg(b *testing.B) {
+	cat := parallelBenchCatalog(b)
+	benchParallelQuery(b, cat, `SELECT f.g, COUNT(*), SUM(f.v) FROM f GROUP BY f.g`)
 }
 
 func BenchmarkInsertWithIndex(b *testing.B) {

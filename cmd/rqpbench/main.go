@@ -52,7 +52,7 @@ type benchJSON struct {
 // probeQueries runs a small correlation-trap star workload under each
 // execution policy with tracing enabled and reports per-query cost, reopt
 // count and q-error geomean.
-func probeQueries(scale float64) ([]queryJSON, error) {
+func probeQueries(scale float64, dop int) ([]queryJSON, error) {
 	sc := workload.DefaultStar()
 	sc.FactRows = max(500, int(float64(sc.FactRows)*scale*0.2))
 	sc.DimRows = max(200, int(float64(sc.DimRows)*scale*0.2))
@@ -67,6 +67,7 @@ func probeQueries(scale float64) ([]queryJSON, error) {
 		cfg := core.DefaultConfig()
 		cfg.Policy = pol
 		cfg.TraceAll = true
+		cfg.DOP = dop
 		eng := core.Attach(cat, cfg)
 		for i, q := range queries {
 			res, err := eng.Exec(q.SQL)
@@ -86,13 +87,6 @@ func probeQueries(scale float64) ([]queryJSON, error) {
 	return out, nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func main() {
 	var (
 		exps     = flag.String("e", "", "comma-separated experiment ids (default: all)")
@@ -101,6 +95,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
 		jsonOut  = flag.String("o", "", "with -json, write to this file instead of stdout")
 		noProbes = flag.Bool("no-probes", false, "with -json, skip the per-query traced probes")
+		dop      = flag.Int("dop", 0, "degree of parallelism for traced probes (0/1 serial, -1 all cores)")
 	)
 	flag.Parse()
 
@@ -146,7 +141,7 @@ func main() {
 	}
 	if *asJSON {
 		if !*noProbes {
-			qs, err := probeQueries(*scale)
+			qs, err := probeQueries(*scale, *dop)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "query probes failed: %v\n", err)
 				failed++

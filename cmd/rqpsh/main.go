@@ -33,6 +33,7 @@ func main() {
 		leo    = flag.Bool("leo", false, "enable LEO execution feedback")
 		cache  = flag.Bool("cache", false, "enable the plan cache (classic policy)")
 		mpl    = flag.Int("mpl", 0, "admission control multiprogramming limit (0 = unlimited)")
+		dop    = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 	if *mpl > 0 {
 		cfg.Admission = wlm.NewAdmitter(*mpl)
 	}
+	cfg.DOP = *dop
 
 	var eng *core.Engine
 	switch *db {

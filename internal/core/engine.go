@@ -71,6 +71,11 @@ type Config struct {
 	// workload-management multiprogramming limit; rejected queries fail
 	// fast and are counted in the metrics registry.
 	Admission *wlm.Admitter
+	// DOP is the degree of parallelism for SELECT execution: 0 or 1 run
+	// serial, above 1 enables morsel-driven parallel operators on eligible
+	// plan nodes, negative means one worker per core. When Admission is
+	// set, the granted DOP additionally shrinks with concurrent load.
+	DOP int
 }
 
 // DefaultConfig is the classic configuration.
@@ -361,6 +366,15 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		defer e.Cfg.Admission.Done()
 	}
 
+	// Degree of parallelism: resolve the configured value, then let the
+	// WLM gate scale it back under concurrent load.
+	if dop := exec.ResolveDOP(e.Cfg.DOP); dop > 1 {
+		if e.Cfg.Admission != nil {
+			dop = e.Cfg.Admission.GrantDOP(dop)
+		}
+		ctx.DOP = dop
+	}
+
 	res := &Result{Columns: bq.ProjNames, Trace: trace}
 	var qerrs []float64
 
@@ -405,6 +419,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 				fmt.Sprintf("robust=%v regret=%.2f sig=%s", choice.Robust, choice.MaxRegret, choice.Sig))
 		}
 		e.Metrics.Counter("rqp_rio_choices_total", obs.L("robust", fmt.Sprintf("%v", choice.Robust))).Inc()
+		e.maybeMarkParallel(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
@@ -447,6 +462,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 			res.Plan = plan.Explain(root)
 			return res, nil
 		}
+		e.maybeMarkParallel(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
@@ -461,6 +477,23 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		e.recordQueryMetrics(res, ctx, qerrs)
 	}
 	return res, nil
+}
+
+// maybeMarkParallel annotates a plan for morsel-driven execution when the
+// context carries a degree of parallelism above one. POP/progressive plans
+// never pass through here: re-optimization splices plans mid-flight, so
+// those paths stay serial.
+func (e *Engine) maybeMarkParallel(root plan.Node, ctx *exec.Context) {
+	if ctx.DOP <= 1 {
+		return
+	}
+	marked := plan.MarkParallel(root, exec.ParallelMinRows)
+	if ctx.Trace != nil {
+		ctx.Trace.Event("parallel.plan", fmt.Sprintf("dop=%d marked=%d", ctx.DOP, marked))
+	}
+	if marked > 0 {
+		e.Metrics.Counter("rqp_parallel_queries_total").Inc()
+	}
 }
 
 // nodeQErrors collects per-operator q-errors from an executed plan.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"slices"
 	"sort"
 
 	"rqp/internal/expr"
@@ -46,6 +47,38 @@ func (a *aggState) add(v types.Value, dedup bool) {
 		a.max = v
 	}
 	a.seen = true
+}
+
+// merge folds partial state b into a (parallel aggregation combines
+// per-morsel partials at the gather barrier). DISTINCT partials replay
+// their deduped values through add so cross-partial duplicates collapse;
+// the values are replayed in sorted-hash order so the merged state is
+// identical run to run.
+func (a *aggState) merge(b *aggState, spec plan.AggSpec) {
+	if spec.Distinct {
+		hs := make([]uint64, 0, len(b.distinct))
+		for h := range b.distinct {
+			hs = append(hs, h)
+		}
+		slices.Sort(hs)
+		for _, h := range hs {
+			for _, v := range b.distinct[h] {
+				a.add(v, true)
+			}
+		}
+		return
+	}
+	a.count += b.count
+	a.sum += b.sum
+	if b.seen {
+		if !a.seen || types.Less(b.min, a.min) {
+			a.min = b.min
+		}
+		if !a.seen || types.Less(a.max, b.max) {
+			a.max = b.max
+		}
+		a.seen = true
+	}
 }
 
 func (a *aggState) result(spec plan.AggSpec) types.Value {
@@ -129,16 +162,8 @@ func (h *hashAgg) Open() error {
 			groups[hash] = append(groups[hash], g)
 			order = append(order, g)
 		}
-		for i, spec := range h.node.Aggs {
-			if spec.Star {
-				g.states[i].count++
-				continue
-			}
-			v, err := spec.Arg.Eval(r, h.ctx.Params)
-			if err != nil {
-				return err
-			}
-			g.states[i].add(v, spec.Distinct)
+		if err := accumGroup(g, h.node, r, h.ctx.Params); err != nil {
+			return err
 		}
 	}
 	// Global aggregate with no groups and no input still yields one row.
@@ -159,6 +184,22 @@ func (h *hashAgg) Open() error {
 		h.out = append(h.out, row)
 	}
 	h.pos = 0
+	return nil
+}
+
+// accumGroup folds one input row into a group's aggregate states.
+func accumGroup(g *group, node *plan.AggNode, r types.Row, params []types.Value) error {
+	for i, spec := range node.Aggs {
+		if spec.Star {
+			g.states[i].count++
+			continue
+		}
+		v, err := spec.Arg.Eval(r, params)
+		if err != nil {
+			return err
+		}
+		g.states[i].add(v, spec.Distinct)
+	}
 	return nil
 }
 

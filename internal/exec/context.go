@@ -29,6 +29,10 @@ type Context struct {
 	// estimated vs. actual) plus engine-level events. Untraced runs pay
 	// nothing beyond a nil check per operator call.
 	Trace *obs.Trace
+	// DOP is the degree of parallelism. Above one, Build routes plan nodes
+	// marked by plan.MarkParallel through the morsel-driven operators; zero
+	// or one keeps execution serial.
+	DOP int
 }
 
 // NewContext returns a context over a fresh clock and an effectively
@@ -241,7 +245,11 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 	var op Operator
 	switch node := n.(type) {
 	case *plan.ScanNode:
-		op = &seqScan{ctx: ctx, node: node}
+		if ctx.parallelEligible(&node.Prop) {
+			op = &parallelScan{ctx: ctx, node: node}
+		} else {
+			op = &seqScan{ctx: ctx, node: node}
+		}
 	case *plan.TempScanNode:
 		op = &tempScan{ctx: ctx, node: node}
 	case *plan.IndexScanNode:
@@ -259,6 +267,24 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 		}
 		op = &projectOp{ctx: ctx, exprs: node.Exprs, child: child}
 	case *plan.JoinNode:
+		if ctx.parallelEligible(&node.Prop) && node.Alg == plan.JoinHash {
+			r, err := build(node.Kids[1], ctx)
+			if err != nil {
+				return nil, err
+			}
+			pj := &parallelHashJoin{ctx: ctx, node: node, right: r}
+			if sc, ok := node.Kids[0].(*plan.ScanNode); ok && sc.Prop.Parallel {
+				pj.scan = sc // fuse the probe-side scan into the probe morsels
+			} else {
+				l, err := build(node.Kids[0], ctx)
+				if err != nil {
+					return nil, err
+				}
+				pj.left = l
+			}
+			op = pj
+			break
+		}
 		l, err := build(node.Kids[0], ctx)
 		if err != nil {
 			return nil, err
@@ -284,6 +310,44 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 		}
 		op = &sortOp{ctx: ctx, keys: node.Keys, child: child}
 	case *plan.AggNode:
+		if ctx.parallelEligible(&node.Prop) && node.Alg == plan.AggHash {
+			pa := &parallelAgg{ctx: ctx, node: node}
+			switch kid := node.Kids[0].(type) {
+			case *plan.ScanNode:
+				if kid.Prop.Parallel {
+					pa.scan = kid // fuse the input scan into the aggregation morsels
+				}
+			case *plan.JoinNode:
+				if kid.Prop.Parallel && kid.Alg == plan.JoinHash {
+					// Fuse the whole join pipeline: agg morsels run
+					// scan → probe → accumulate without materializing.
+					r, err := build(kid.Kids[1], ctx)
+					if err != nil {
+						return nil, err
+					}
+					pj := &parallelHashJoin{ctx: ctx, node: kid, right: r}
+					if sc, ok := kid.Kids[0].(*plan.ScanNode); ok && sc.Prop.Parallel {
+						pj.scan = sc
+					} else {
+						l, err := build(kid.Kids[0], ctx)
+						if err != nil {
+							return nil, err
+						}
+						pj.left = l
+					}
+					pa.join = pj
+				}
+			}
+			if pa.scan == nil && pa.join == nil {
+				child, err := build(node.Kids[0], ctx)
+				if err != nil {
+					return nil, err
+				}
+				pa.child = child
+			}
+			op = pa
+			break
+		}
 		child, err := build(node.Kids[0], ctx)
 		if err != nil {
 			return nil, err

@@ -48,10 +48,16 @@ func drain(op Operator) ([]types.Row, error) {
 
 func keyOf(r types.Row, cols []int) []types.Value {
 	k := make([]types.Value, len(cols))
-	for i, c := range cols {
-		k[i] = r[c]
-	}
+	keyInto(k, r, cols)
 	return k
+}
+
+// keyInto fills dst (len(cols)) with r's key columns, sparing hot paths the
+// per-row allocation of keyOf.
+func keyInto(dst []types.Value, r types.Row, cols []int) {
+	for i, c := range cols {
+		dst[i] = r[c]
+	}
 }
 
 func keysEqual(a, b []types.Value) bool {
@@ -72,16 +78,18 @@ func keyHasNull(k []types.Value) bool {
 	return false
 }
 
-// emitJoined evaluates the residual and assembles the output row.
-func emitJoined(ctx *Context, node *plan.JoinNode, l, r types.Row) (types.Row, bool, error) {
+// emitJoined evaluates the residual and assembles the output row. It takes
+// the clock explicitly (rather than a Context) so parallel workers can
+// charge their shard clocks.
+func emitJoined(clk *storage.Clock, params []types.Value, node *plan.JoinNode, l, r types.Row) (types.Row, bool, error) {
 	out := types.Concat(l, r)
 	if node.Residual != nil {
-		ok, err := expr.EvalPredicate(node.Residual, out, ctx.Params)
+		ok, err := expr.EvalPredicate(node.Residual, out, params)
 		if err != nil || !ok {
 			return nil, false, err
 		}
 	}
-	ctx.Clock.RowWork(1)
+	clk.RowWork(1)
 	return out, true, nil
 }
 
@@ -150,7 +158,7 @@ func (j *hashJoin) Next() (types.Row, bool, error) {
 		if j.midx < len(j.matches) {
 			r := j.matches[j.midx]
 			j.midx++
-			out, ok, err := emitJoined(j.ctx, j.node, j.lrow, r)
+			out, ok, err := emitJoined(j.ctx.Clock, j.ctx.Params, j.node, j.lrow, r)
 			if err != nil {
 				return nil, false, err
 			}
@@ -260,7 +268,7 @@ func (j *nlJoin) Next() (types.Row, bool, error) {
 					continue
 				}
 			}
-			out, ok, err := emitJoined(j.ctx, j.node, j.lrow, r)
+			out, ok, err := emitJoined(j.ctx.Clock, j.ctx.Params, j.node, j.lrow, r)
 			if err != nil {
 				return nil, false, err
 			}
@@ -351,7 +359,7 @@ func (j *mergeJoin) Next() (types.Row, bool, error) {
 		if j.gi < len(j.group) {
 			r := j.group[j.gi]
 			j.gi++
-			out, ok, err := emitJoined(j.ctx, j.node, j.lrow, r)
+			out, ok, err := emitJoined(j.ctx.Clock, j.ctx.Params, j.node, j.lrow, r)
 			if err != nil {
 				return nil, false, err
 			}
@@ -486,7 +494,7 @@ func (j *symHashJoin) insert(r types.Row, fromLeft bool) error {
 		} else {
 			l, rr = cand, r
 		}
-		out, ok, err := emitJoined(j.ctx, j.node, l, rr)
+		out, ok, err := emitJoined(j.ctx.Clock, j.ctx.Params, j.node, l, rr)
 		if err != nil {
 			return err
 		}
@@ -552,7 +560,7 @@ func (j *gJoin) Open() error {
 	defer j.ctx.Mem.Release(grant)
 
 	emit := func(l, r types.Row) error {
-		out, ok, err := emitJoined(j.ctx, j.node, l, r)
+		out, ok, err := emitJoined(j.ctx.Clock, j.ctx.Params, j.node, l, r)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,644 @@
+package exec
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"rqp/internal/expr"
+	"rqp/internal/plan"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// ResolveDOP maps a configured degree of parallelism to an effective worker
+// count: negative means "all cores" (runtime.NumCPU), zero and one mean
+// serial.
+func ResolveDOP(n int) int {
+	if n < 0 {
+		return runtime.NumCPU()
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// parallelEligible reports whether build should take the morsel-driven path
+// for a node: the context must carry a DOP above one and the planner must
+// have marked the node (plan.MarkParallel).
+func (ctx *Context) parallelEligible(p *plan.Props) bool {
+	return ctx.DOP > 1 && p.Parallel
+}
+
+// finishNode records a fused child's observed cardinality the way the
+// counted wrapper would have, so LEO feedback, EXPLAIN ANALYZE spans and
+// the robustness metrics still see the node even though no standalone
+// operator ran for it.
+func finishNode(ctx *Context, n plan.Node, actual float64) {
+	n.Props().ActualRows = actual
+	if ctx.Trace != nil {
+		if sp := ctx.Trace.SpanOf(n); sp != nil {
+			sp.Finish(actual)
+		}
+	}
+	if ctx.OnActual != nil {
+		ctx.OnActual(n, actual)
+	}
+}
+
+// scanMorsel reads one page-range morsel of a table, charging clk exactly
+// as the serial scan would (one sequential read per page, CPU per examined
+// row), and hands rows passing the filter to emit. The emitted row is the
+// heap's — valid only until the query ends and never to be mutated.
+func scanMorsel(ctx *Context, node *plan.ScanNode, m, npages int, clk *storage.Clock, emit func(types.Row) error) error {
+	lo, hi := morselRange(m, MorselPages, npages)
+	var emitErr error
+	for p := lo; p < hi; p++ {
+		node.Table.Heap.ScanPage(clk, p, func(_ storage.RID, r types.Row) bool {
+			clk.RowWork(1)
+			if node.Filter != nil {
+				ok, err := expr.EvalPredicate(node.Filter, r, ctx.Params)
+				if err != nil {
+					emitErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			}
+			if err := emit(r); err != nil {
+				emitErr = err
+				return false
+			}
+			return true
+		})
+		if emitErr != nil {
+			return emitErr
+		}
+	}
+	return nil
+}
+
+// ---------- parallel scan ----------
+
+// parallelScan splits a sequential scan into fixed page-range morsels
+// dispatched to the worker pool and gathers matching rows through an
+// exchange in morsel order — exactly the heap order the serial scan emits.
+// Page and row charges are identical to seqScan's, issued on worker shard
+// clocks and merged at the gather barrier.
+type parallelScan struct {
+	ctx  *Context
+	node *plan.ScanNode
+	x    exchange
+}
+
+func (s *parallelScan) Open() error {
+	npages := s.node.Table.Heap.NumPages()
+	n := morselCount(npages, MorselPages)
+	s.x.reset(n)
+	return runMorsels(s.ctx, s.node.Label(), n, s.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
+		var rows []types.Row
+		err := scanMorsel(s.ctx, s.node, m, npages, clk, func(r types.Row) error {
+			rows = append(rows, r)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		s.x.set(m, rows)
+		return len(rows), nil
+	})
+}
+
+func (s *parallelScan) Next() (types.Row, bool, error) {
+	r, ok := s.x.next()
+	return r, ok, nil
+}
+
+func (s *parallelScan) Close() error {
+	s.x.release()
+	return nil
+}
+
+// ---------- parallel hash join ----------
+
+// hashedRow pairs a build row with its precomputed join-key hash.
+type hashedRow struct {
+	h uint64
+	r types.Row
+}
+
+// probeScratch is one morsel's reusable probe-side workspace: key buffers
+// and a scratch output row, so steady-state probing allocates nothing.
+type probeScratch struct {
+	key   []types.Value
+	ckey  []types.Value
+	buf   types.Row
+	nulls types.Row
+}
+
+// parallelHashJoin is the morsel-driven hash join. The build side is
+// drained once, hashed in parallel morsels, and repartitioned into one
+// hash-table shard per worker at a gather barrier; probe-side morsels then
+// stream against the frozen shards lock-free. When the probe child is a
+// parallel-marked scan, the scan fuses into the probe loop: one morsel
+// performs page read, filter and probe with no intermediate
+// materialization. Output flows through an exchange in morsel order, and
+// shard bucket chains are assembled in build order, so the emitted rows are
+// byte-identical, in order, to the serial hashJoin's. The charge multiset
+// also matches serial, so simulated cost is unchanged.
+type parallelHashJoin struct {
+	ctx   *Context
+	node  *plan.JoinNode
+	scan  *plan.ScanNode // fused probe-side scan (nil when left is set)
+	left  Operator       // probe child when not fused
+	right Operator
+
+	dop     int
+	parts   []map[uint64][]types.Row
+	grant   int
+	rWidth  int
+	emitted int64
+	x       exchange
+}
+
+// openBuild drains the build side and erects the partitioned hash table.
+// It is Open minus the probe phase, so an enclosing fused aggregation can
+// drive the probe morsels itself.
+func (j *parallelHashJoin) openBuild() error {
+	j.dop = j.ctx.DOP
+	if j.dop < 1 {
+		j.dop = 1
+	}
+	build, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.rWidth = len(j.node.Kids[1].Schema())
+	j.grant = j.ctx.Mem.Grant(len(build))
+	if len(build) > j.grant {
+		// grace partitioning: one extra write+read pass over both inputs
+		spill := (len(build) + storage.PageRows - 1) / storage.PageRows
+		j.ctx.Clock.Write(spill)
+		j.ctx.Clock.SeqRead(spill)
+	}
+	return j.buildPartitions(build)
+}
+
+func (j *parallelHashJoin) Open() error {
+	if err := j.openBuild(); err != nil {
+		return err
+	}
+	return j.probe()
+}
+
+// buildPartitions runs the two build phases: (1) parallel morsels hash
+// every build row into per-morsel vectors, charging the serial join's
+// insert cost; (2) each worker assembles its own hash-range shard by
+// sweeping the vectors in morsel order, so bucket chains preserve build
+// order and probing stays deterministic.
+func (j *parallelHashJoin) buildPartitions(build []types.Row) error {
+	n := morselCount(len(build), MorselRows)
+	pairs := make([][]hashedRow, n)
+	err := runMorsels(j.ctx, j.node.Label()+" build", n, j.dop, func(m int, clk *storage.Clock) (int, error) {
+		lo, hi := morselRange(m, MorselRows, len(build))
+		ps := make([]hashedRow, 0, hi-lo)
+		key := make([]types.Value, len(j.node.RightKeys))
+		for _, r := range build[lo:hi] {
+			clk.Probes(2) // insert costs double a probe (see cost model)
+			keyInto(key, r, j.node.RightKeys)
+			if keyHasNull(key) {
+				continue
+			}
+			ps = append(ps, hashedRow{types.HashRow(key), r})
+		}
+		pairs[m] = ps
+		return len(ps), nil
+	})
+	if err != nil {
+		return err
+	}
+	j.parts = make([]map[uint64][]types.Row, j.dop)
+	dop := uint64(j.dop)
+	return runMorsels(j.ctx, j.node.Label()+" partition", j.dop, j.dop, func(w int, _ *storage.Clock) (int, error) {
+		tab := map[uint64][]types.Row{}
+		for _, ps := range pairs {
+			for _, p := range ps {
+				if p.h%dop == uint64(w) {
+					tab[p.h] = append(tab[p.h], p.r)
+				}
+			}
+		}
+		j.parts[w] = tab
+		return 0, nil
+	})
+}
+
+func (j *parallelHashJoin) newScratch() *probeScratch {
+	return &probeScratch{
+		key:   make([]types.Value, len(j.node.LeftKeys)),
+		ckey:  make([]types.Value, len(j.node.RightKeys)),
+		buf:   make(types.Row, 0, len(j.node.Schema())),
+		nulls: nullRow(j.rWidth),
+	}
+}
+
+// probeEach probes one left row against the shards and hands every joined
+// (and, for left-outer, null-extended) row to sink. The row passed to sink
+// is st.buf — a scratch reused on the next call; sinks that keep rows must
+// clone. Charges mirror the serial hashJoin probe exactly: one probe per
+// left row before the null check, one unit of row work per emitted row.
+func (j *parallelHashJoin) probeEach(lr types.Row, clk *storage.Clock, st *probeScratch, sink func(types.Row) error) error {
+	clk.Probes(1)
+	keyInto(st.key, lr, j.node.LeftKeys)
+	matched := false
+	if !keyHasNull(st.key) {
+		h := types.HashRow(st.key)
+		for _, cand := range j.parts[h%uint64(j.dop)][h] {
+			keyInto(st.ckey, cand, j.node.RightKeys)
+			if !keysEqual(st.key, st.ckey) {
+				continue
+			}
+			st.buf = append(append(st.buf[:0], lr...), cand...)
+			if j.node.Residual != nil {
+				ok, err := expr.EvalPredicate(j.node.Residual, st.buf, j.ctx.Params)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			clk.RowWork(1)
+			matched = true
+			if err := sink(st.buf); err != nil {
+				return err
+			}
+		}
+	}
+	if j.node.Type == plan.LeftOuter && !matched {
+		st.buf = append(append(st.buf[:0], lr...), st.nulls...)
+		clk.RowWork(1)
+		if err := sink(st.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probe runs the probe phase into the exchange (the standalone operator
+// path; a fused aggregation bypasses this entirely).
+func (j *parallelHashJoin) probe() error {
+	if j.scan != nil {
+		npages := j.scan.Table.Heap.NumPages()
+		n := morselCount(npages, MorselPages)
+		j.x.reset(n)
+		var scanned int64
+		err := runMorsels(j.ctx, j.node.Label()+" probe", n, j.dop, func(m int, clk *storage.Clock) (int, error) {
+			st := j.newScratch()
+			var out []types.Row
+			rows := 0
+			err := scanMorsel(j.ctx, j.scan, m, npages, clk, func(lr types.Row) error {
+				rows++
+				return j.probeEach(lr, clk, st, func(r types.Row) error {
+					out = append(out, r.Clone())
+					return nil
+				})
+			})
+			if err != nil {
+				return 0, err
+			}
+			atomic.AddInt64(&scanned, int64(rows))
+			j.x.set(m, out)
+			return len(out), nil
+		})
+		if err != nil {
+			return err
+		}
+		finishNode(j.ctx, j.scan, float64(atomic.LoadInt64(&scanned)))
+		return nil
+	}
+	lrows, err := drain(j.left)
+	j.left = nil // drained and closed; Close must not close it again
+	if err != nil {
+		return err
+	}
+	n := morselCount(len(lrows), MorselRows)
+	j.x.reset(n)
+	return runMorsels(j.ctx, j.node.Label()+" probe", n, j.dop, func(m int, clk *storage.Clock) (int, error) {
+		st := j.newScratch()
+		lo, hi := morselRange(m, MorselRows, len(lrows))
+		var out []types.Row
+		for _, lr := range lrows[lo:hi] {
+			err := j.probeEach(lr, clk, st, func(r types.Row) error {
+				out = append(out, r.Clone())
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+		j.x.set(m, out)
+		return len(out), nil
+	})
+}
+
+func (j *parallelHashJoin) Next() (types.Row, bool, error) {
+	r, ok := j.x.next()
+	return r, ok, nil
+}
+
+// release frees the hash shards and returns the memory grant.
+func (j *parallelHashJoin) release() {
+	j.parts = nil
+	j.ctx.Mem.Release(j.grant)
+	j.grant = 0
+}
+
+func (j *parallelHashJoin) Close() error {
+	j.release()
+	j.x.release()
+	if j.left != nil {
+		return j.left.Close()
+	}
+	return nil
+}
+
+// ---------- parallel aggregation ----------
+
+// aggPartial is one morsel's partial grouping state.
+type aggPartial struct {
+	groups map[uint64][]*group
+	order  []*group
+}
+
+func newAggPartial() *aggPartial {
+	return &aggPartial{groups: map[uint64][]*group{}}
+}
+
+// groupFor finds or creates the group for key, cloning the key only on
+// creation (the caller's key buffer is reused across rows).
+func (p *aggPartial) groupFor(key []types.Value, hash uint64, naggs int) *group {
+	for _, cand := range p.groups[hash] {
+		if rowsEqual(cand.key, key) {
+			return cand
+		}
+	}
+	g := &group{key: append([]types.Value(nil), key...), states: make([]aggState, naggs)}
+	p.groups[hash] = append(p.groups[hash], g)
+	p.order = append(p.order, g)
+	return g
+}
+
+// parallelAgg runs hash aggregation as per-morsel partial group states
+// merged at a gather barrier, then sorts the merged groups on the key —
+// the same deterministic output order as the serial hashAgg. Partials
+// merge in morsel order, so results are reproducible run to run; SUM/AVG
+// over floats may differ from serial in the last bits because partial sums
+// reassociate the additions (exact for integer data).
+//
+// The input pipeline fuses as deep as the plan allows: over a
+// parallel-marked scan, one morsel performs page read, filter and
+// accumulation; over a parallel-marked hash join, one morsel runs
+// scan → probe → accumulate with a scratch output row and no
+// materialization at all — the morsel pipeline only breaks at the gather
+// barrier, where partials merge.
+type parallelAgg struct {
+	ctx   *Context
+	node  *plan.AggNode
+	scan  *plan.ScanNode    // fused input scan (exclusive with join/child)
+	join  *parallelHashJoin // fused input join (exclusive with scan/child)
+	child Operator          // generic input (exclusive with scan/join)
+
+	out []types.Row
+	pos int
+}
+
+// accumRow folds one input row into a partial, charging the serial
+// hashAgg's per-row probe. key is the caller's scratch group-key buffer.
+func (a *parallelAgg) accumRow(p *aggPartial, r types.Row, key []types.Value, clk *storage.Clock) error {
+	clk.Probes(1)
+	for i, ge := range a.node.GroupExprs {
+		v, err := ge.Eval(r, a.ctx.Params)
+		if err != nil {
+			return err
+		}
+		key[i] = v
+	}
+	g := p.groupFor(key, types.HashRow(key), len(a.node.Aggs))
+	return accumGroup(g, a.node, r, a.ctx.Params)
+}
+
+func (a *parallelAgg) Open() error {
+	var (
+		partials []*aggPartial
+		err      error
+	)
+	switch {
+	case a.scan != nil:
+		partials, err = a.partialsFromScan()
+	case a.join != nil:
+		partials, err = a.partialsFromJoin()
+	default:
+		partials, err = a.partialsFromChild()
+	}
+	if err != nil {
+		return err
+	}
+	order := a.mergePartials(partials)
+	// Global aggregate with no groups and no input still yields one row.
+	if len(order) == 0 && len(a.node.GroupExprs) == 0 {
+		order = append(order, &group{states: make([]aggState, len(a.node.Aggs))})
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return compareKeys(order[i].key, order[j].key) < 0
+	})
+	a.out = make([]types.Row, 0, len(order))
+	for _, g := range order {
+		a.ctx.Clock.RowWork(1)
+		row := make(types.Row, 0, len(g.key)+len(g.states))
+		row = append(row, g.key...)
+		for i := range g.states {
+			row = append(row, g.states[i].result(a.node.Aggs[i]))
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *parallelAgg) partialsFromScan() ([]*aggPartial, error) {
+	npages := a.scan.Table.Heap.NumPages()
+	n := morselCount(npages, MorselPages)
+	partials := make([]*aggPartial, n)
+	var scanned int64
+	err := runMorsels(a.ctx, a.node.Label(), n, a.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
+		p := newAggPartial()
+		key := make([]types.Value, len(a.node.GroupExprs))
+		rows := 0
+		err := scanMorsel(a.ctx, a.scan, m, npages, clk, func(r types.Row) error {
+			rows++
+			return a.accumRow(p, r, key, clk)
+		})
+		if err != nil {
+			return 0, err
+		}
+		atomic.AddInt64(&scanned, int64(rows))
+		partials[m] = p
+		return len(p.order), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	finishNode(a.ctx, a.scan, float64(atomic.LoadInt64(&scanned)))
+	return partials, nil
+}
+
+// partialsFromJoin is the fully fused pipeline: build the join's hash
+// shards, then run probe morsels that accumulate joined rows straight into
+// partials through a scratch row — no joined row is ever materialized.
+func (a *parallelAgg) partialsFromJoin() ([]*aggPartial, error) {
+	jn := a.join
+	if err := jn.openBuild(); err != nil {
+		return nil, err
+	}
+	accum := func(p *aggPartial, key []types.Value, clk *storage.Clock) func(types.Row) error {
+		return func(r types.Row) error {
+			atomic.AddInt64(&jn.emitted, 1)
+			return a.accumRow(p, r, key, clk)
+		}
+	}
+	var partials []*aggPartial
+	if jn.scan != nil {
+		npages := jn.scan.Table.Heap.NumPages()
+		n := morselCount(npages, MorselPages)
+		partials = make([]*aggPartial, n)
+		var scanned int64
+		err := runMorsels(a.ctx, a.node.Label(), n, jn.dop, func(m int, clk *storage.Clock) (int, error) {
+			st := jn.newScratch()
+			p := newAggPartial()
+			key := make([]types.Value, len(a.node.GroupExprs))
+			sink := accum(p, key, clk)
+			rows := 0
+			err := scanMorsel(a.ctx, jn.scan, m, npages, clk, func(lr types.Row) error {
+				rows++
+				return jn.probeEach(lr, clk, st, sink)
+			})
+			if err != nil {
+				return 0, err
+			}
+			atomic.AddInt64(&scanned, int64(rows))
+			partials[m] = p
+			return len(p.order), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		finishNode(a.ctx, jn.scan, float64(atomic.LoadInt64(&scanned)))
+	} else {
+		lrows, err := drain(jn.left)
+		jn.left = nil
+		if err != nil {
+			return nil, err
+		}
+		n := morselCount(len(lrows), MorselRows)
+		partials = make([]*aggPartial, n)
+		err = runMorsels(a.ctx, a.node.Label(), n, jn.dop, func(m int, clk *storage.Clock) (int, error) {
+			st := jn.newScratch()
+			p := newAggPartial()
+			key := make([]types.Value, len(a.node.GroupExprs))
+			sink := accum(p, key, clk)
+			lo, hi := morselRange(m, MorselRows, len(lrows))
+			for _, lr := range lrows[lo:hi] {
+				if err := jn.probeEach(lr, clk, st, sink); err != nil {
+					return 0, err
+				}
+			}
+			partials[m] = p
+			return len(p.order), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	finishNode(a.ctx, jn.node, float64(atomic.LoadInt64(&jn.emitted)))
+	jn.release()
+	return partials, nil
+}
+
+func (a *parallelAgg) partialsFromChild() ([]*aggPartial, error) {
+	rows, err := drain(a.child)
+	a.child = nil // drained and closed; Close must not close it again
+	if err != nil {
+		return nil, err
+	}
+	n := morselCount(len(rows), MorselRows)
+	partials := make([]*aggPartial, n)
+	err = runMorsels(a.ctx, a.node.Label(), n, a.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
+		p := newAggPartial()
+		key := make([]types.Value, len(a.node.GroupExprs))
+		lo, hi := morselRange(m, MorselRows, len(rows))
+		for _, r := range rows[lo:hi] {
+			if err := a.accumRow(p, r, key, clk); err != nil {
+				return 0, err
+			}
+		}
+		partials[m] = p
+		return len(p.order), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return partials, nil
+}
+
+// mergePartials folds the per-morsel partials, in morsel order, into one
+// group list. Grouping work was already charged per input row in the
+// morsels; the merge itself is free on the clock, exactly like the serial
+// hashAgg's in-table accumulation.
+func (a *parallelAgg) mergePartials(partials []*aggPartial) []*group {
+	merged := map[uint64][]*group{}
+	var order []*group
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for _, g := range p.order {
+			h := types.HashRow(g.key)
+			var dst *group
+			for _, cand := range merged[h] {
+				if rowsEqual(cand.key, g.key) {
+					dst = cand
+					break
+				}
+			}
+			if dst == nil {
+				merged[h] = append(merged[h], g)
+				order = append(order, g)
+				continue
+			}
+			for i := range dst.states {
+				dst.states[i].merge(&g.states[i], a.node.Aggs[i])
+			}
+		}
+	}
+	return order
+}
+
+func (a *parallelAgg) Next() (types.Row, bool, error) {
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+func (a *parallelAgg) Close() error {
+	a.out = nil
+	if a.child != nil {
+		return a.child.Close()
+	}
+	return nil
+}

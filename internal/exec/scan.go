@@ -9,48 +9,64 @@ import (
 )
 
 // seqScan reads a heap table in physical order, applying the pushed-down
-// filter. The heap charges one sequential read per page; each examined row
-// charges CPU.
+// filter. It streams one page at a time, so its working memory is one
+// page's rows regardless of table size, and a parent that stops early
+// (LIMIT) never pays for pages it did not pull. The heap charges one
+// sequential read per page; each examined row charges CPU.
 type seqScan struct {
-	ctx  *Context
-	node *plan.ScanNode
-	rows []types.Row
-	pos  int
+	ctx    *Context
+	node   *plan.ScanNode
+	npages int
+	page   int
+	buf    []types.Row
+	pos    int
 }
 
 func (s *seqScan) Open() error {
-	s.rows = s.rows[:0]
+	s.npages = s.node.Table.Heap.NumPages()
+	s.page = 0
+	s.buf = s.buf[:0]
 	s.pos = 0
-	var evalErr error
-	s.node.Table.Heap.Scan(s.ctx.Clock, func(_ storage.RID, r types.Row) bool {
-		s.ctx.Clock.RowWork(1)
-		if s.node.Filter != nil {
-			ok, err := expr.EvalPredicate(s.node.Filter, r, s.ctx.Params)
-			if err != nil {
-				evalErr = err
-				return false
-			}
-			if !ok {
-				return true
-			}
-		}
-		s.rows = append(s.rows, r)
-		return true
-	})
-	return evalErr
+	return nil
 }
 
 func (s *seqScan) Next() (types.Row, bool, error) {
-	if s.pos >= len(s.rows) {
-		return nil, false, nil
+	for {
+		if s.pos < len(s.buf) {
+			r := s.buf[s.pos]
+			s.pos++
+			return r, true, nil
+		}
+		if s.page >= s.npages {
+			return nil, false, nil
+		}
+		s.buf = s.buf[:0]
+		s.pos = 0
+		var evalErr error
+		s.node.Table.Heap.ScanPage(s.ctx.Clock, s.page, func(_ storage.RID, r types.Row) bool {
+			s.ctx.Clock.RowWork(1)
+			if s.node.Filter != nil {
+				ok, err := expr.EvalPredicate(s.node.Filter, r, s.ctx.Params)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			}
+			s.buf = append(s.buf, r)
+			return true
+		})
+		s.page++
+		if evalErr != nil {
+			return nil, false, evalErr
+		}
 	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, true, nil
 }
 
 func (s *seqScan) Close() error {
-	s.rows = nil
+	s.buf = nil
 	return nil
 }
 

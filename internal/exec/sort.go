@@ -61,13 +61,6 @@ func (s *sortOp) Open() error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func (s *sortOp) less(a, b types.Row) bool {
 	for _, k := range s.keys {
 		c := types.Compare(a[k.Col], b[k.Col])

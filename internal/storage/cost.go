@@ -107,6 +107,24 @@ func (c *Clock) Reset() {
 // Model returns the clock's cost model.
 func (c *Clock) Model() CostModel { return c.model }
 
+// Shard returns a fresh child clock with the same cost model. Parallel
+// operators hand one shard to each worker so per-row charging never
+// contends on the parent's counters; Merge folds the shard back in at the
+// gather barrier.
+func (c *Clock) Shard() *Clock { return &Clock{model: c.model} }
+
+// Merge adds a shard's accumulated counters into c. Charges are stored as
+// unit-scaled integers, so a sharded execution that performs the same
+// multiset of charge calls as a serial one accumulates an identical total,
+// regardless of how work interleaved across workers.
+func (c *Clock) Merge(s *Clock) {
+	atomic.AddInt64(&c.units, atomic.LoadInt64(&s.units))
+	atomic.AddInt64(&c.seqReads, atomic.LoadInt64(&s.seqReads))
+	atomic.AddInt64(&c.randReads, atomic.LoadInt64(&s.randReads))
+	atomic.AddInt64(&c.pageWrites, atomic.LoadInt64(&s.pageWrites))
+	atomic.AddInt64(&c.rowsCPU, atomic.LoadInt64(&s.rowsCPU))
+}
+
 // String summarizes the clock state.
 func (c *Clock) String() string {
 	s, r, w, rows := c.Counters()

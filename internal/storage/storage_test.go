@@ -166,3 +166,38 @@ func TestGetOutOfRange(t *testing.T) {
 		t.Error("out-of-range slot should miss")
 	}
 }
+
+func TestClockShardMerge(t *testing.T) {
+	serial := NewClock(DefaultCostModel())
+	sharded := NewClock(DefaultCostModel())
+	charge := func(c *Clock, n int) {
+		for i := 0; i < n; i++ {
+			c.SeqRead(1)
+			c.RandRead(2)
+			c.Write(1)
+			c.RowWork(3)
+			c.Probes(2)
+			c.Compares(5)
+		}
+	}
+	charge(serial, 12)
+	// The same multiset of charges split across three shards must merge to
+	// exactly the serial total — the cost-parity invariant parallel
+	// execution relies on.
+	shards := []*Clock{sharded.Shard(), sharded.Shard(), sharded.Shard()}
+	charge(shards[0], 5)
+	charge(shards[1], 4)
+	charge(shards[2], 3)
+	for _, s := range shards {
+		sharded.Merge(s)
+	}
+	if su, pu := serial.Units(), sharded.Units(); su != pu {
+		t.Fatalf("sharded units %v != serial units %v", pu, su)
+	}
+	s1, r1, w1, c1 := serial.Counters()
+	s2, r2, w2, c2 := sharded.Counters()
+	if s1 != s2 || r1 != r2 || w1 != w2 || c1 != c2 {
+		t.Fatalf("counters diverge: serial (%d %d %d %d) vs sharded (%d %d %d %d)",
+			s1, r1, w1, c1, s2, r2, w2, c2)
+	}
+}

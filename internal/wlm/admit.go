@@ -58,6 +58,31 @@ func (a *Admitter) TryAdmit() Decision {
 	return Decision{Admitted: true, Active: a.active, MPL: a.mpl}
 }
 
+// GrantDOP scales a query's requested degree of parallelism by current
+// load: a query may use at most the gate's idle headroom (plus its own
+// slot), and never less than one worker. An unlimited gate grants the full
+// request. This is the report's "degree of parallelism as a workload
+// management knob": under light load queries fan out, as the mix thickens
+// they gracefully degrade toward serial instead of oversubscribing cores.
+func (a *Admitter) GrantDOP(want int) int {
+	if want < 1 {
+		return 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.mpl <= 0 {
+		return want
+	}
+	headroom := a.mpl - a.active + 1
+	if headroom < 1 {
+		headroom = 1
+	}
+	if want > headroom {
+		return headroom
+	}
+	return want
+}
+
 // Done releases a previously admitted slot.
 func (a *Admitter) Done() {
 	a.mu.Lock()

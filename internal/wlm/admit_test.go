@@ -62,3 +62,29 @@ func TestAdmitterConcurrent(t *testing.T) {
 		t.Fatalf("peak = %d, exceeded mpl 4", peak)
 	}
 }
+
+func TestGrantDOP(t *testing.T) {
+	unlimited := NewAdmitter(0)
+	if got := unlimited.GrantDOP(8); got != 8 {
+		t.Errorf("unlimited gate granted %d, want 8", got)
+	}
+	if got := unlimited.GrantDOP(0); got != 1 {
+		t.Errorf("want<1 must grant 1, got %d", got)
+	}
+	a := NewAdmitter(4)
+	// Idle gate: one active slot (ours), headroom = mpl - active + 1 = 4.
+	a.TryAdmit()
+	if got := a.GrantDOP(8); got != 4 {
+		t.Errorf("idle gate granted %d, want 4", got)
+	}
+	if got := a.GrantDOP(2); got != 2 {
+		t.Errorf("small request granted %d, want 2", got)
+	}
+	// Saturated gate: DOP degrades toward serial but never below 1.
+	a.TryAdmit()
+	a.TryAdmit()
+	a.TryAdmit()
+	if got := a.GrantDOP(8); got != 1 {
+		t.Errorf("saturated gate granted %d, want 1", got)
+	}
+}
