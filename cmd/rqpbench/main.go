@@ -52,7 +52,7 @@ type benchJSON struct {
 // probeQueries runs a small correlation-trap star workload under each
 // execution policy with tracing enabled and reports per-query cost, reopt
 // count and q-error geomean.
-func probeQueries(scale float64, dop int) ([]queryJSON, error) {
+func probeQueries(scale float64, dop int, vec bool) ([]queryJSON, error) {
 	sc := workload.DefaultStar()
 	sc.FactRows = max(500, int(float64(sc.FactRows)*scale*0.2))
 	sc.DimRows = max(200, int(float64(sc.DimRows)*scale*0.2))
@@ -68,6 +68,7 @@ func probeQueries(scale float64, dop int) ([]queryJSON, error) {
 		cfg.Policy = pol
 		cfg.TraceAll = true
 		cfg.DOP = dop
+		cfg.Vec = vec
 		eng := core.Attach(cat, cfg)
 		for i, q := range queries {
 			res, err := eng.Exec(q.SQL)
@@ -96,6 +97,7 @@ func main() {
 		jsonOut  = flag.String("o", "", "with -json, write to this file instead of stdout")
 		noProbes = flag.Bool("no-probes", false, "with -json, skip the per-query traced probes")
 		dop      = flag.Int("dop", 0, "degree of parallelism for traced probes (0/1 serial, -1 all cores)")
+		vec      = flag.Bool("vec", false, "vectorized batch execution for traced probes")
 	)
 	flag.Parse()
 
@@ -141,7 +143,7 @@ func main() {
 	}
 	if *asJSON {
 		if !*noProbes {
-			qs, err := probeQueries(*scale, *dop)
+			qs, err := probeQueries(*scale, *dop, *vec)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "query probes failed: %v\n", err)
 				failed++

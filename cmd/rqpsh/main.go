@@ -34,6 +34,7 @@ func main() {
 		cache  = flag.Bool("cache", false, "enable the plan cache (classic policy)")
 		mpl    = flag.Int("mpl", 0, "admission control multiprogramming limit (0 = unlimited)")
 		dop    = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
+		vec    = flag.Bool("vec", false, "enable vectorized batch execution with compiled expressions")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 		cfg.Admission = wlm.NewAdmitter(*mpl)
 	}
 	cfg.DOP = *dop
+	cfg.Vec = *vec
 
 	var eng *core.Engine
 	switch *db {

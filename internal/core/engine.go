@@ -76,6 +76,12 @@ type Config struct {
 	// plan nodes, negative means one worker per core. When Admission is
 	// set, the granted DOP additionally shrinks with concurrent load.
 	DOP int
+	// Vec enables vectorized execution: serial (DOP <= 1) plans run
+	// eligible fragments through the batch-at-a-time path with compiled
+	// expressions, and parallel plans compile the expressions inside their
+	// morsel operators. Results, row order and simulated cost are
+	// identical to the row-at-a-time path.
+	Vec bool
 }
 
 // DefaultConfig is the classic configuration.
@@ -374,6 +380,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		}
 		ctx.DOP = dop
 	}
+	ctx.Vec = e.Cfg.Vec
 
 	res := &Result{Columns: bq.ProjNames, Trace: trace}
 	var qerrs []float64
@@ -420,6 +427,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		}
 		e.Metrics.Counter("rqp_rio_choices_total", obs.L("robust", fmt.Sprintf("%v", choice.Robust))).Inc()
 		e.maybeMarkParallel(root, ctx)
+		e.maybeMarkVectorized(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
@@ -463,6 +471,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 			return res, nil
 		}
 		e.maybeMarkParallel(root, ctx)
+		e.maybeMarkVectorized(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
@@ -493,6 +502,24 @@ func (e *Engine) maybeMarkParallel(root plan.Node, ctx *exec.Context) {
 	}
 	if marked > 0 {
 		e.Metrics.Counter("rqp_parallel_queries_total").Inc()
+	}
+}
+
+// maybeMarkVectorized annotates a plan for batch execution when the config
+// enables it. Marking happens even at DOP > 1 — the executor itself only
+// takes the batch path on serial plans, but the annotations are harmless and
+// keep plan-cache hits consistent. POP/progressive plans never pass through
+// here, mirroring maybeMarkParallel.
+func (e *Engine) maybeMarkVectorized(root plan.Node, ctx *exec.Context) {
+	if !ctx.Vec {
+		return
+	}
+	marked := plan.MarkVectorized(root)
+	if ctx.Trace != nil {
+		ctx.Trace.Event("vectorized.plan", fmt.Sprintf("marked=%d", marked))
+	}
+	if marked > 0 {
+		e.Metrics.Counter("rqp_vectorized_queries_total").Inc()
 	}
 }
 

@@ -170,9 +170,7 @@ func (h *hashAgg) Open() error {
 	if len(order) == 0 && len(h.node.GroupExprs) == 0 {
 		order = append(order, &group{states: make([]aggState, len(h.node.Aggs))})
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return compareKeys(order[i].key, order[j].key) < 0
-	})
+	sortGroups(order)
 	h.out = make([]types.Row, 0, len(order))
 	for _, g := range order {
 		h.ctx.Clock.RowWork(1)
@@ -201,6 +199,31 @@ func accumGroup(g *group, node *plan.AggNode, r types.Row, params []types.Value)
 		g.states[i].add(v, spec.Distinct)
 	}
 	return nil
+}
+
+// accumGroupFns is accumGroup with compiled aggregate arguments (fns is
+// index-aligned with node.Aggs; nil entries are COUNT(*)).
+func accumGroupFns(g *group, node *plan.AggNode, fns []expr.EvalFn, r types.Row, params []types.Value) error {
+	for i, spec := range node.Aggs {
+		if spec.Star {
+			g.states[i].count++
+			continue
+		}
+		v, err := fns[i](r, params)
+		if err != nil {
+			return err
+		}
+		g.states[i].add(v, spec.Distinct)
+	}
+	return nil
+}
+
+// sortGroups orders groups by key — the deterministic output order every
+// aggregation path (serial, parallel, batch) shares.
+func sortGroups(order []*group) {
+	sort.SliceStable(order, func(i, j int) bool {
+		return compareKeys(order[i].key, order[j].key) < 0
+	})
 }
 
 func rowsEqual(a, b []types.Value) bool {

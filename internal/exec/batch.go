@@ -1,0 +1,613 @@
+package exec
+
+import (
+	"errors"
+
+	"rqp/internal/expr"
+	"rqp/internal/obs"
+	"rqp/internal/plan"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// BatchRows is the target number of rows per batch (~4 heap pages), large
+// enough to amortize per-batch dispatch and accounting, small enough to stay
+// cache-resident.
+const BatchRows = 256
+
+// Batch is a column-agnostic row batch with a selection vector: Sel lists
+// the indices of live rows in Rows, in order. Operators refill a batch in
+// place; its contents are valid only until the producer's next NextBatch
+// call (the Volcano validity contract, batched).
+type Batch struct {
+	Rows []types.Row
+	Sel  []int
+}
+
+// Len returns the number of selected (live) rows.
+func (b *Batch) Len() int { return len(b.Sel) }
+
+// BatchOperator is the vectorized iterator interface. NextBatch refills b
+// and returns the number of selected rows; zero means the input is
+// exhausted — operators loop internally past fully filtered batches, so a
+// non-zero return always carries at least one live row.
+type BatchOperator interface {
+	Open() error
+	NextBatch(b *Batch) (int, error)
+	Close() error
+}
+
+// identitySel resets sel to the identity selection 0..n-1.
+func identitySel(sel []int, n int) []int {
+	sel = sel[:0]
+	for i := 0; i < n; i++ {
+		sel = append(sel, i)
+	}
+	return sel
+}
+
+// batchAdapter presents a batch subtree through the row-at-a-time Operator
+// interface, so vectorized fragments compose with operators that are not
+// vectorized (sort, limit, the adaptive joins, ...). Cardinality accounting
+// lives in the countedBatch wrappers inside the subtree, so the adapter
+// itself is invisible to spans and feedback.
+type batchAdapter struct {
+	b   BatchOperator
+	buf Batch
+	pos int
+}
+
+func (a *batchAdapter) Open() error {
+	a.pos = 0
+	a.buf.Rows = a.buf.Rows[:0]
+	a.buf.Sel = a.buf.Sel[:0]
+	return a.b.Open()
+}
+
+func (a *batchAdapter) Next() (types.Row, bool, error) {
+	for {
+		if a.pos < len(a.buf.Sel) {
+			r := a.buf.Rows[a.buf.Sel[a.pos]]
+			a.pos++
+			return r, true, nil
+		}
+		n, err := a.b.NextBatch(&a.buf)
+		if err != nil {
+			return nil, false, err
+		}
+		if n == 0 {
+			return nil, false, nil
+		}
+		a.pos = 0
+	}
+}
+
+func (a *batchAdapter) Close() error { return a.b.Close() }
+
+// runBatches drains a batch subtree to completion, materializing each output
+// batch into one value slab instead of cloning row by row — the batch-native
+// top of Run when the whole plan vectorized. Output values are identical to
+// runOp over the adapter; only the allocation pattern differs.
+func runBatches(op BatchOperator) ([]types.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	var buf Batch
+	for {
+		n, err := op.NextBatch(&buf)
+		if err != nil {
+			if cerr := op.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		total := 0
+		for _, i := range buf.Sel {
+			total += len(buf.Rows[i])
+		}
+		slab := make([]types.Value, total)
+		off := 0
+		for _, i := range buf.Sel {
+			r := buf.Rows[i]
+			dst := slab[off : off+len(r) : off+len(r)]
+			copy(dst, r)
+			off += len(r)
+			out = append(out, types.Row(dst))
+		}
+	}
+	return out, op.Close()
+}
+
+// countedBatch is the batch-path counterpart of counted: it records the
+// node's actual output cardinality, fires the feedback hook and (when
+// tracing) accrues the node's span — charged once per batch with exact row
+// counts, so recorded actuals, span costs and LEO/POP checkpoints are
+// identical to the row path while the per-row wrapper overhead disappears.
+type countedBatch struct {
+	b    BatchOperator
+	node plan.Node
+	ctx  *Context
+	span *obs.Span // nil when untraced
+	n    float64
+	done bool
+}
+
+func (c *countedBatch) Open() error {
+	if c.span == nil {
+		return c.b.Open()
+	}
+	w := c.ctx.Clock.StartWatch()
+	err := c.b.Open()
+	c.span.AddCost(w.Elapsed())
+	return err
+}
+
+func (c *countedBatch) NextBatch(b *Batch) (int, error) {
+	if c.span == nil {
+		n, err := c.b.NextBatch(b)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			c.finish()
+		} else {
+			c.n += float64(n)
+		}
+		return n, nil
+	}
+	w := c.ctx.Clock.StartWatch()
+	n, err := c.b.NextBatch(b)
+	c.span.AddCost(w.Elapsed())
+	c.span.AddCall()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		c.finish()
+	} else {
+		c.n += float64(n)
+	}
+	return n, nil
+}
+
+func (c *countedBatch) finish() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.node.Props().ActualRows = c.n
+	if c.span != nil {
+		c.span.Finish(c.n)
+	}
+	if c.ctx.OnActual != nil {
+		c.ctx.OnActual(c.node, c.n)
+	}
+}
+
+func (c *countedBatch) Close() error {
+	c.finish()
+	if c.span == nil {
+		return c.b.Close()
+	}
+	w := c.ctx.Clock.StartWatch()
+	err := c.b.Close()
+	c.span.AddCost(w.Elapsed())
+	return err
+}
+
+// vecEligible reports whether build should take the batch path for a node:
+// the context must enable vectorization, execution must be serial (with
+// DOP above one the morsel operators own the hot loops and use compiled
+// expressions instead), and the planner must have marked the node.
+func (ctx *Context) vecEligible(p *plan.Props) bool {
+	return ctx.Vec && ctx.DOP <= 1 && p.Vectorized
+}
+
+// buildBatch constructs the vectorized operator for a node marked by
+// plan.MarkVectorized, wrapping it (and recursively its batch children) in
+// countedBatch. Returns nil when the node has no batch implementation; the
+// caller then falls back to the row path for the whole subtree.
+func buildBatch(n plan.Node, ctx *Context) (BatchOperator, error) {
+	var op BatchOperator
+	switch node := n.(type) {
+	case *plan.ScanNode:
+		op = &batchSeqScan{ctx: ctx, node: node}
+	case *plan.FilterNode:
+		child, err := buildBatchChild(node.Kids[0], ctx)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		op = &batchFilter{ctx: ctx, src: node.Pred, child: child}
+	case *plan.ProjectNode:
+		child, err := buildBatchChild(node.Kids[0], ctx)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		op = &batchProject{ctx: ctx, exprs: node.Exprs, child: child}
+	case *plan.JoinNode:
+		if node.Alg != plan.JoinHash {
+			return nil, nil
+		}
+		left, err := buildBatchChild(node.Kids[0], ctx)
+		if err != nil || left == nil {
+			return nil, err
+		}
+		right, err := build(node.Kids[1], ctx) // build side stays on the row path
+		if err != nil {
+			return nil, err
+		}
+		op = &batchHashJoin{ctx: ctx, node: node, left: left, right: right}
+	case *plan.AggNode:
+		if node.Alg != plan.AggHash {
+			return nil, nil
+		}
+		child, err := buildBatchChild(node.Kids[0], ctx)
+		if err != nil || child == nil {
+			return nil, err
+		}
+		op = &batchHashAgg{ctx: ctx, node: node, child: child}
+	default:
+		return nil, nil
+	}
+	var span *obs.Span
+	if ctx.Trace != nil {
+		span = ctx.Trace.SpanOf(n)
+	}
+	return &countedBatch{b: op, node: n, ctx: ctx, span: span}, nil
+}
+
+func buildBatchChild(n plan.Node, ctx *Context) (BatchOperator, error) {
+	if !n.Props().Vectorized {
+		return nil, nil
+	}
+	return buildBatch(n, ctx)
+}
+
+// ---------- batch scan ----------
+
+// batchSeqScan reads a heap table in physical order, one batch (~4 pages) at
+// a time, evaluating the pushed-down filter through a compiled predicate
+// into the selection vector. Charges are identical to seqScan: one
+// sequential read per page, CPU per examined row.
+type batchSeqScan struct {
+	ctx    *Context
+	node   *plan.ScanNode
+	pred   *expr.Pred
+	npages int
+	page   int
+}
+
+func (s *batchSeqScan) Open() error {
+	s.npages = s.node.Table.Heap.NumPages()
+	s.page = 0
+	if s.node.Filter != nil {
+		s.pred = expr.CompilePredicate(s.node.Filter)
+	}
+	return nil
+}
+
+func (s *batchSeqScan) NextBatch(b *Batch) (int, error) {
+	for {
+		b.Rows = b.Rows[:0]
+		for s.page < s.npages && len(b.Rows) < BatchRows {
+			s.node.Table.Heap.ScanPage(s.ctx.Clock, s.page, func(_ storage.RID, r types.Row) bool {
+				b.Rows = append(b.Rows, r)
+				return true
+			})
+			s.page++
+		}
+		if len(b.Rows) == 0 {
+			return 0, nil
+		}
+		s.ctx.Clock.RowWorkBatch(len(b.Rows))
+		b.Sel = identitySel(b.Sel, len(b.Rows))
+		if s.pred != nil {
+			var err error
+			b.Sel, err = s.pred.EvalBatch(b.Rows, b.Sel, s.ctx.Params)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if len(b.Sel) > 0 {
+			return len(b.Sel), nil
+		}
+	}
+}
+
+func (s *batchSeqScan) Close() error { return nil }
+
+// ---------- batch filter ----------
+
+// batchFilter refines the selection vector with a compiled predicate,
+// charging one unit of row work per input row like filterOp.
+type batchFilter struct {
+	ctx   *Context
+	src   expr.Expr
+	pred  *expr.Pred
+	child BatchOperator
+}
+
+func (f *batchFilter) Open() error {
+	f.pred = expr.CompilePredicate(f.src)
+	return f.child.Open()
+}
+
+func (f *batchFilter) NextBatch(b *Batch) (int, error) {
+	for {
+		n, err := f.child.NextBatch(b)
+		if err != nil || n == 0 {
+			return 0, err
+		}
+		f.ctx.Clock.RowWorkBatch(n)
+		b.Sel, err = f.pred.EvalBatch(b.Rows, b.Sel, f.ctx.Params)
+		if err != nil {
+			return 0, err
+		}
+		if len(b.Sel) > 0 {
+			return len(b.Sel), nil
+		}
+	}
+}
+
+func (f *batchFilter) Close() error { return f.child.Close() }
+
+// ---------- batch project ----------
+
+// batchProject computes compiled output expressions into a per-batch value
+// slab (one allocation per batch instead of one per row), charging one unit
+// of row work per input row like projectOp.
+type batchProject struct {
+	ctx   *Context
+	exprs []expr.Expr
+	fns   []expr.EvalFn
+	child BatchOperator
+	in    Batch
+	slab  []types.Value
+}
+
+func (p *batchProject) Open() error {
+	p.fns = expr.CompileAll(p.exprs)
+	return p.child.Open()
+}
+
+func (p *batchProject) NextBatch(b *Batch) (int, error) {
+	n, err := p.child.NextBatch(&p.in)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	p.ctx.Clock.RowWorkBatch(n)
+	w := len(p.fns)
+	if need := n * w; cap(p.slab) < need {
+		p.slab = make([]types.Value, need)
+	}
+	b.Rows = b.Rows[:0]
+	off := 0
+	for _, i := range p.in.Sel {
+		r := p.in.Rows[i]
+		out := p.slab[off : off+w : off+w]
+		for j, fn := range p.fns {
+			v, err := fn(r, p.ctx.Params)
+			if err != nil {
+				return 0, err
+			}
+			out[j] = v
+		}
+		off += w
+		b.Rows = append(b.Rows, types.Row(out))
+	}
+	b.Sel = identitySel(b.Sel, len(b.Rows))
+	return len(b.Rows), nil
+}
+
+func (p *batchProject) Close() error { return p.child.Close() }
+
+// ---------- batch hash join (probe side) ----------
+
+// batchHashJoin builds its hash table exactly like hashJoin (row-at-a-time
+// drain of the right child, same grant and grace-spill charges) and probes
+// with left batches: one hash probe per left row, one unit of row work per
+// emitted row, residual through a compiled predicate. An output batch holds
+// every match of one input batch, so it may exceed BatchRows.
+type batchHashJoin struct {
+	ctx      *Context
+	node     *plan.JoinNode
+	left     BatchOperator
+	right    Operator
+	residual *expr.Pred
+
+	table  map[uint64][]types.Row
+	grant  int
+	rWidth int
+	in     Batch
+	key    []types.Value
+	ckey   []types.Value
+	nulls  types.Row
+}
+
+func (j *batchHashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	build, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.rWidth = len(j.node.Kids[1].Schema())
+	j.grant = j.ctx.Mem.Grant(len(build))
+	if len(build) > j.grant {
+		// grace partitioning: one extra write+read pass over both inputs
+		spill := (len(build) + storage.PageRows - 1) / storage.PageRows
+		j.ctx.Clock.Write(spill)
+		j.ctx.Clock.SeqRead(spill)
+	}
+	j.table = make(map[uint64][]types.Row, len(build))
+	key := make([]types.Value, len(j.node.RightKeys))
+	for _, r := range build {
+		j.ctx.Clock.Probes(2) // insert costs double a probe (see cost model)
+		keyInto(key, r, j.node.RightKeys)
+		if keyHasNull(key) {
+			continue
+		}
+		j.table[types.HashRow(key)] = append(j.table[types.HashRow(key)], r)
+	}
+	j.key = make([]types.Value, len(j.node.LeftKeys))
+	j.ckey = make([]types.Value, len(j.node.RightKeys))
+	j.nulls = nullRow(j.rWidth)
+	if j.node.Residual != nil {
+		j.residual = expr.CompilePredicate(j.node.Residual)
+	}
+	return nil
+}
+
+func (j *batchHashJoin) NextBatch(b *Batch) (int, error) {
+	for {
+		n, err := j.left.NextBatch(&j.in)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		j.ctx.Clock.ProbesBatch(n)
+		b.Rows = b.Rows[:0]
+		for _, i := range j.in.Sel {
+			lr := j.in.Rows[i]
+			keyInto(j.key, lr, j.node.LeftKeys)
+			matched := false
+			if !keyHasNull(j.key) {
+				for _, cand := range j.table[types.HashRow(j.key)] {
+					keyInto(j.ckey, cand, j.node.RightKeys)
+					if !keysEqual(j.key, j.ckey) {
+						continue
+					}
+					out := types.Concat(lr, cand)
+					if j.residual != nil {
+						ok, err := j.residual.Eval(out, j.ctx.Params)
+						if err != nil {
+							return 0, err
+						}
+						if !ok {
+							continue
+						}
+					}
+					matched = true
+					b.Rows = append(b.Rows, out)
+				}
+			}
+			if j.node.Type == plan.LeftOuter && !matched {
+				b.Rows = append(b.Rows, types.Concat(lr, j.nulls))
+			}
+		}
+		j.ctx.Clock.RowWorkBatch(len(b.Rows))
+		if len(b.Rows) > 0 {
+			b.Sel = identitySel(b.Sel, len(b.Rows))
+			return len(b.Rows), nil
+		}
+	}
+}
+
+func (j *batchHashJoin) Close() error {
+	j.table = nil
+	j.ctx.Mem.Release(j.grant)
+	j.grant = 0
+	return j.left.Close()
+}
+
+// ---------- batch hash aggregation ----------
+
+// batchHashAgg consumes its child in batches at Open, accumulating through
+// compiled group and aggregate-argument expressions, then emits the sorted
+// groups in batches. Charges match hashAgg: one hash probe per input row,
+// one unit of row work per output group.
+type batchHashAgg struct {
+	ctx   *Context
+	node  *plan.AggNode
+	child BatchOperator
+
+	groupFns []expr.EvalFn
+	argFns   []expr.EvalFn // index-aligned with node.Aggs; nil for COUNT(*)
+
+	out []types.Row
+	pos int
+}
+
+func (a *batchHashAgg) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	a.groupFns = expr.CompileAll(a.node.GroupExprs)
+	a.argFns = make([]expr.EvalFn, len(a.node.Aggs))
+	for i, spec := range a.node.Aggs {
+		if !spec.Star {
+			a.argFns[i] = expr.Compile(spec.Arg)
+		}
+	}
+	part := newAggPartial()
+	key := make([]types.Value, len(a.groupFns))
+	var in Batch
+	for {
+		n, err := a.child.NextBatch(&in)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		a.ctx.Clock.ProbesBatch(n)
+		for _, i := range in.Sel {
+			r := in.Rows[i]
+			for gi, fn := range a.groupFns {
+				v, err := fn(r, a.ctx.Params)
+				if err != nil {
+					return err
+				}
+				key[gi] = v
+			}
+			g := part.groupFor(key, types.HashRow(key), len(a.node.Aggs))
+			if err := accumGroupFns(g, a.node, a.argFns, r, a.ctx.Params); err != nil {
+				return err
+			}
+		}
+	}
+	order := part.order
+	// Global aggregate with no groups and no input still yields one row.
+	if len(order) == 0 && len(a.node.GroupExprs) == 0 {
+		order = append(order, &group{states: make([]aggState, len(a.node.Aggs))})
+	}
+	sortGroups(order)
+	a.ctx.Clock.RowWorkBatch(len(order))
+	a.out = make([]types.Row, 0, len(order))
+	for _, g := range order {
+		row := make(types.Row, 0, len(g.key)+len(g.states))
+		row = append(row, g.key...)
+		for i := range g.states {
+			row = append(row, g.states[i].result(a.node.Aggs[i]))
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *batchHashAgg) NextBatch(b *Batch) (int, error) {
+	if a.pos >= len(a.out) {
+		return 0, nil
+	}
+	end := a.pos + BatchRows
+	if end > len(a.out) {
+		end = len(a.out)
+	}
+	b.Rows = append(b.Rows[:0], a.out[a.pos:end]...)
+	b.Sel = identitySel(b.Sel, len(b.Rows))
+	a.pos = end
+	return len(b.Rows), nil
+}
+
+func (a *batchHashAgg) Close() error {
+	a.out = nil
+	return a.child.Close()
+}

@@ -33,6 +33,11 @@ type Context struct {
 	// marked by plan.MarkParallel through the morsel-driven operators; zero
 	// or one keeps execution serial.
 	DOP int
+	// Vec enables vectorized execution: serial plans route nodes marked by
+	// plan.MarkVectorized through batch operators with compiled
+	// expressions; with DOP above one the morsel operators compile their
+	// hot-loop expressions instead (a morsel is already a batch).
+	Vec bool
 }
 
 // NewContext returns a context over a fresh clock and an effectively
@@ -157,39 +162,21 @@ type Operator interface {
 }
 
 // counted wraps an operator to record its output cardinality into the plan
-// node's Props, fire the feedback hook, and (when tracing) accrue the
-// node's span with cost and call counts.
+// node's Props and fire the feedback hook. It carries no tracing state:
+// untraced queries — the common case — pay only the row count increment per
+// Next, with no span branch on the hot path. Traced queries get the
+// tracedCounted variant instead.
 type counted struct {
 	op   Operator
 	node plan.Node
 	ctx  *Context
-	span *obs.Span // nil when untraced
 	n    float64
 	done bool
 }
 
-func (c *counted) Open() error {
-	if c.span == nil {
-		return c.op.Open()
-	}
-	w := c.ctx.Clock.StartWatch()
-	err := c.op.Open()
-	c.span.AddCost(w.Elapsed())
-	return err
-}
+func (c *counted) Open() error { return c.op.Open() }
 
 func (c *counted) Next() (types.Row, bool, error) {
-	if c.span == nil {
-		return c.next()
-	}
-	w := c.ctx.Clock.StartWatch()
-	r, ok, err := c.next()
-	c.span.AddCost(w.Elapsed())
-	c.span.AddCall()
-	return r, ok, err
-}
-
-func (c *counted) next() (types.Row, bool, error) {
 	r, ok, err := c.op.Next()
 	if err != nil {
 		return nil, false, err
@@ -208,9 +195,6 @@ func (c *counted) finish() {
 	}
 	c.done = true
 	c.node.Props().ActualRows = c.n
-	if c.span != nil {
-		c.span.Finish(c.n)
-	}
 	if c.ctx.OnActual != nil {
 		c.ctx.OnActual(c.node, c.n)
 	}
@@ -218,9 +202,58 @@ func (c *counted) finish() {
 
 func (c *counted) Close() error {
 	c.finish()
-	if c.span == nil {
-		return c.op.Close()
+	return c.op.Close()
+}
+
+// tracedCounted is counted plus span accounting: per-call cost attribution
+// and call counts for EXPLAIN ANALYZE. Chosen once at build time, so the
+// per-row tracing overhead exists only when a tracer is attached.
+type tracedCounted struct {
+	op   Operator
+	node plan.Node
+	ctx  *Context
+	span *obs.Span
+	n    float64
+	done bool
+}
+
+func (c *tracedCounted) Open() error {
+	w := c.ctx.Clock.StartWatch()
+	err := c.op.Open()
+	c.span.AddCost(w.Elapsed())
+	return err
+}
+
+func (c *tracedCounted) Next() (types.Row, bool, error) {
+	w := c.ctx.Clock.StartWatch()
+	r, ok, err := c.op.Next()
+	c.span.AddCost(w.Elapsed())
+	c.span.AddCall()
+	if err != nil {
+		return nil, false, err
 	}
+	if ok {
+		c.n++
+		return r, true, nil
+	}
+	c.finish()
+	return nil, false, nil
+}
+
+func (c *tracedCounted) finish() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.node.Props().ActualRows = c.n
+	c.span.Finish(c.n)
+	if c.ctx.OnActual != nil {
+		c.ctx.OnActual(c.node, c.n)
+	}
+}
+
+func (c *tracedCounted) Close() error {
+	c.finish()
 	w := c.ctx.Clock.StartWatch()
 	err := c.op.Close()
 	c.span.AddCost(w.Elapsed())
@@ -242,6 +275,17 @@ func Build(n plan.Node, ctx *Context) (Operator, error) {
 }
 
 func build(n plan.Node, ctx *Context) (Operator, error) {
+	if ctx.vecEligible(n.Props()) {
+		bop, err := buildBatch(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if bop != nil {
+			// Counting and tracing live in the countedBatch wrappers inside
+			// the batch subtree; the adapter needs no wrapper of its own.
+			return &batchAdapter{b: bop}, nil
+		}
+	}
 	var op Operator
 	switch node := n.(type) {
 	case *plan.ScanNode:
@@ -384,11 +428,12 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 	default:
 		return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 	}
-	var span *obs.Span
 	if ctx.Trace != nil {
-		span = ctx.Trace.SpanOf(n)
+		if span := ctx.Trace.SpanOf(n); span != nil {
+			return &tracedCounted{op: op, node: n, ctx: ctx, span: span}, nil
+		}
 	}
-	return &counted{op: op, node: n, ctx: ctx, span: span}, nil
+	return &counted{op: op, node: n, ctx: ctx}, nil
 }
 
 // Run executes a plan to completion and returns all result rows. Actual
@@ -397,6 +442,9 @@ func Run(n plan.Node, ctx *Context) ([]types.Row, error) {
 	op, err := Build(n, ctx)
 	if err != nil {
 		return nil, err
+	}
+	if a, ok := op.(*batchAdapter); ok {
+		return runBatches(a.b)
 	}
 	return runOp(op)
 }

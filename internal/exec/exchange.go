@@ -23,6 +23,26 @@ const (
 	ParallelMinRows = 256
 )
 
+// morselBufPool recycles per-morsel output buffers across morsels and
+// queries: every morsel needs a scratch slice to collect its rows before the
+// exchange replays them, and at MorselRows-sized fan-outs the allocations
+// otherwise dominate small-morsel work.
+var morselBufPool = sync.Pool{
+	New: func() any { return make([]types.Row, 0, MorselRows) },
+}
+
+// getMorselBuf returns an empty row buffer with pooled capacity.
+func getMorselBuf() []types.Row {
+	return morselBufPool.Get().([]types.Row)[:0]
+}
+
+// putMorselBuf clears the buffer's row references (so pooled memory does not
+// pin query data) and returns it to the pool.
+func putMorselBuf(b []types.Row) {
+	clear(b[:cap(b)])
+	morselBufPool.Put(b[:0])
+}
+
 // morselCount returns how many size-unit morsels cover total units.
 func morselCount(total, size int) int {
 	return (total + size - 1) / size
@@ -86,8 +106,16 @@ func (x *exchange) rows() []types.Row {
 	return out
 }
 
-// release drops the buffers.
-func (x *exchange) release() { x.bufs = nil }
+// release returns the buffers to the morsel pool. Safe to call twice (the
+// second call sees nil bufs and does nothing).
+func (x *exchange) release() {
+	for _, b := range x.bufs {
+		if b != nil {
+			putMorselBuf(b)
+		}
+	}
+	x.bufs = nil
+}
 
 // runMorsels dispatches morsels 0..n-1 to up to dop workers pulling from a
 // shared cursor (dynamic scheduling, so slow morsels do not stall the

@@ -2,7 +2,7 @@ package exec
 
 import (
 	"runtime"
-	"sort"
+	"sync"
 	"sync/atomic"
 
 	"rqp/internal/expr"
@@ -47,17 +47,37 @@ func finishNode(ctx *Context, n plan.Node, actual float64) {
 	}
 }
 
+// compilePred compiles e when the context runs vectorized; a nil return
+// keeps the interpreted path. Morsel operators call this at Open so the
+// one-time compile is paid off across every morsel.
+func compilePred(ctx *Context, e expr.Expr) *expr.Pred {
+	if !ctx.Vec || e == nil {
+		return nil
+	}
+	return expr.CompilePredicate(e)
+}
+
 // scanMorsel reads one page-range morsel of a table, charging clk exactly
 // as the serial scan would (one sequential read per page, CPU per examined
-// row), and hands rows passing the filter to emit. The emitted row is the
-// heap's — valid only until the query ends and never to be mutated.
-func scanMorsel(ctx *Context, node *plan.ScanNode, m, npages int, clk *storage.Clock, emit func(types.Row) error) error {
+// row), and hands rows passing the filter to emit. pred, when non-nil, is
+// the compiled form of node.Filter. The emitted row is the heap's — valid
+// only until the query ends and never to be mutated.
+func scanMorsel(ctx *Context, node *plan.ScanNode, pred *expr.Pred, m, npages int, clk *storage.Clock, emit func(types.Row) error) error {
 	lo, hi := morselRange(m, MorselPages, npages)
 	var emitErr error
 	for p := lo; p < hi; p++ {
 		node.Table.Heap.ScanPage(clk, p, func(_ storage.RID, r types.Row) bool {
 			clk.RowWork(1)
-			if node.Filter != nil {
+			if pred != nil {
+				ok, err := pred.Eval(r, ctx.Params)
+				if err != nil {
+					emitErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			} else if node.Filter != nil {
 				ok, err := expr.EvalPredicate(node.Filter, r, ctx.Params)
 				if err != nil {
 					emitErr = err
@@ -97,13 +117,15 @@ func (s *parallelScan) Open() error {
 	npages := s.node.Table.Heap.NumPages()
 	n := morselCount(npages, MorselPages)
 	s.x.reset(n)
+	pred := compilePred(s.ctx, s.node.Filter)
 	return runMorsels(s.ctx, s.node.Label(), n, s.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
-		var rows []types.Row
-		err := scanMorsel(s.ctx, s.node, m, npages, clk, func(r types.Row) error {
+		rows := getMorselBuf()
+		err := scanMorsel(s.ctx, s.node, pred, m, npages, clk, func(r types.Row) error {
 			rows = append(rows, r)
 			return nil
 		})
 		if err != nil {
+			putMorselBuf(rows)
 			return 0, err
 		}
 		s.x.set(m, rows)
@@ -155,12 +177,15 @@ type parallelHashJoin struct {
 	left  Operator       // probe child when not fused
 	right Operator
 
-	dop     int
-	parts   []map[uint64][]types.Row
-	grant   int
-	rWidth  int
-	emitted int64
-	x       exchange
+	dop      int
+	parts    []map[uint64][]types.Row
+	grant    int
+	rWidth   int
+	emitted  int64
+	x        exchange
+	scanPred *expr.Pred // compiled fused-scan filter (vectorized runs)
+	residual *expr.Pred // compiled residual (vectorized runs)
+	scratch  sync.Pool  // *probeScratch, reused across morsels
 }
 
 // openBuild drains the build side and erects the partitioned hash table.
@@ -171,6 +196,10 @@ func (j *parallelHashJoin) openBuild() error {
 	if j.dop < 1 {
 		j.dop = 1
 	}
+	if j.scan != nil {
+		j.scanPred = compilePred(j.ctx, j.scan.Filter)
+	}
+	j.residual = compilePred(j.ctx, j.node.Residual)
 	build, err := drain(j.right)
 	if err != nil {
 		return err
@@ -244,6 +273,18 @@ func (j *parallelHashJoin) newScratch() *probeScratch {
 	}
 }
 
+// getScratch hands out a pooled probeScratch; putScratch returns it when the
+// morsel finishes, so scratch allocation amortizes across morsels instead of
+// recurring per morsel.
+func (j *parallelHashJoin) getScratch() *probeScratch {
+	if st, ok := j.scratch.Get().(*probeScratch); ok {
+		return st
+	}
+	return j.newScratch()
+}
+
+func (j *parallelHashJoin) putScratch(st *probeScratch) { j.scratch.Put(st) }
+
 // probeEach probes one left row against the shards and hands every joined
 // (and, for left-outer, null-extended) row to sink. The row passed to sink
 // is st.buf — a scratch reused on the next call; sinks that keep rows must
@@ -261,7 +302,15 @@ func (j *parallelHashJoin) probeEach(lr types.Row, clk *storage.Clock, st *probe
 				continue
 			}
 			st.buf = append(append(st.buf[:0], lr...), cand...)
-			if j.node.Residual != nil {
+			if j.residual != nil {
+				ok, err := j.residual.Eval(st.buf, j.ctx.Params)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			} else if j.node.Residual != nil {
 				ok, err := expr.EvalPredicate(j.node.Residual, st.buf, j.ctx.Params)
 				if err != nil {
 					return err
@@ -296,10 +345,11 @@ func (j *parallelHashJoin) probe() error {
 		j.x.reset(n)
 		var scanned int64
 		err := runMorsels(j.ctx, j.node.Label()+" probe", n, j.dop, func(m int, clk *storage.Clock) (int, error) {
-			st := j.newScratch()
-			var out []types.Row
+			st := j.getScratch()
+			defer j.putScratch(st)
+			out := getMorselBuf()
 			rows := 0
-			err := scanMorsel(j.ctx, j.scan, m, npages, clk, func(lr types.Row) error {
+			err := scanMorsel(j.ctx, j.scan, j.scanPred, m, npages, clk, func(lr types.Row) error {
 				rows++
 				return j.probeEach(lr, clk, st, func(r types.Row) error {
 					out = append(out, r.Clone())
@@ -307,6 +357,7 @@ func (j *parallelHashJoin) probe() error {
 				})
 			})
 			if err != nil {
+				putMorselBuf(out)
 				return 0, err
 			}
 			atomic.AddInt64(&scanned, int64(rows))
@@ -327,15 +378,17 @@ func (j *parallelHashJoin) probe() error {
 	n := morselCount(len(lrows), MorselRows)
 	j.x.reset(n)
 	return runMorsels(j.ctx, j.node.Label()+" probe", n, j.dop, func(m int, clk *storage.Clock) (int, error) {
-		st := j.newScratch()
+		st := j.getScratch()
+		defer j.putScratch(st)
 		lo, hi := morselRange(m, MorselRows, len(lrows))
-		var out []types.Row
+		out := getMorselBuf()
 		for _, lr := range lrows[lo:hi] {
 			err := j.probeEach(lr, clk, st, func(r types.Row) error {
 				out = append(out, r.Clone())
 				return nil
 			})
 			if err != nil {
+				putMorselBuf(out)
 				return 0, err
 			}
 		}
@@ -411,14 +464,43 @@ type parallelAgg struct {
 	join  *parallelHashJoin // fused input join (exclusive with scan/child)
 	child Operator          // generic input (exclusive with scan/join)
 
+	groupFns []expr.EvalFn // compiled group expressions (vectorized runs)
+	argFns   []expr.EvalFn // compiled aggregate arguments (vectorized runs)
+
 	out []types.Row
 	pos int
+}
+
+// compileFns lowers the group and aggregate-argument expressions once at
+// Open when the context runs vectorized; interpreted otherwise.
+func (a *parallelAgg) compileFns() {
+	if !a.ctx.Vec {
+		return
+	}
+	a.groupFns = expr.CompileAll(a.node.GroupExprs)
+	a.argFns = make([]expr.EvalFn, len(a.node.Aggs))
+	for i, spec := range a.node.Aggs {
+		if !spec.Star {
+			a.argFns[i] = expr.Compile(spec.Arg)
+		}
+	}
 }
 
 // accumRow folds one input row into a partial, charging the serial
 // hashAgg's per-row probe. key is the caller's scratch group-key buffer.
 func (a *parallelAgg) accumRow(p *aggPartial, r types.Row, key []types.Value, clk *storage.Clock) error {
 	clk.Probes(1)
+	if a.argFns != nil { // vectorized: compiled group and argument exprs
+		for i, fn := range a.groupFns {
+			v, err := fn(r, a.ctx.Params)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		g := p.groupFor(key, types.HashRow(key), len(a.node.Aggs))
+		return accumGroupFns(g, a.node, a.argFns, r, a.ctx.Params)
+	}
 	for i, ge := range a.node.GroupExprs {
 		v, err := ge.Eval(r, a.ctx.Params)
 		if err != nil {
@@ -431,6 +513,7 @@ func (a *parallelAgg) accumRow(p *aggPartial, r types.Row, key []types.Value, cl
 }
 
 func (a *parallelAgg) Open() error {
+	a.compileFns()
 	var (
 		partials []*aggPartial
 		err      error
@@ -451,9 +534,7 @@ func (a *parallelAgg) Open() error {
 	if len(order) == 0 && len(a.node.GroupExprs) == 0 {
 		order = append(order, &group{states: make([]aggState, len(a.node.Aggs))})
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return compareKeys(order[i].key, order[j].key) < 0
-	})
+	sortGroups(order)
 	a.out = make([]types.Row, 0, len(order))
 	for _, g := range order {
 		a.ctx.Clock.RowWork(1)
@@ -472,12 +553,13 @@ func (a *parallelAgg) partialsFromScan() ([]*aggPartial, error) {
 	npages := a.scan.Table.Heap.NumPages()
 	n := morselCount(npages, MorselPages)
 	partials := make([]*aggPartial, n)
+	pred := compilePred(a.ctx, a.scan.Filter)
 	var scanned int64
 	err := runMorsels(a.ctx, a.node.Label(), n, a.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
 		p := newAggPartial()
 		key := make([]types.Value, len(a.node.GroupExprs))
 		rows := 0
-		err := scanMorsel(a.ctx, a.scan, m, npages, clk, func(r types.Row) error {
+		err := scanMorsel(a.ctx, a.scan, pred, m, npages, clk, func(r types.Row) error {
 			rows++
 			return a.accumRow(p, r, key, clk)
 		})
@@ -516,12 +598,13 @@ func (a *parallelAgg) partialsFromJoin() ([]*aggPartial, error) {
 		partials = make([]*aggPartial, n)
 		var scanned int64
 		err := runMorsels(a.ctx, a.node.Label(), n, jn.dop, func(m int, clk *storage.Clock) (int, error) {
-			st := jn.newScratch()
+			st := jn.getScratch()
+			defer jn.putScratch(st)
 			p := newAggPartial()
 			key := make([]types.Value, len(a.node.GroupExprs))
 			sink := accum(p, key, clk)
 			rows := 0
-			err := scanMorsel(a.ctx, jn.scan, m, npages, clk, func(lr types.Row) error {
+			err := scanMorsel(a.ctx, jn.scan, jn.scanPred, m, npages, clk, func(lr types.Row) error {
 				rows++
 				return jn.probeEach(lr, clk, st, sink)
 			})
@@ -545,7 +628,8 @@ func (a *parallelAgg) partialsFromJoin() ([]*aggPartial, error) {
 		n := morselCount(len(lrows), MorselRows)
 		partials = make([]*aggPartial, n)
 		err = runMorsels(a.ctx, a.node.Label(), n, jn.dop, func(m int, clk *storage.Clock) (int, error) {
-			st := jn.newScratch()
+			st := jn.getScratch()
+			defer jn.putScratch(st)
 			p := newAggPartial()
 			key := make([]types.Value, len(a.node.GroupExprs))
 			sink := accum(p, key, clk)

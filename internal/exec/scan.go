@@ -1,12 +1,20 @@
 package exec
 
 import (
+	"sync"
+
 	"rqp/internal/expr"
 	"rqp/internal/index"
 	"rqp/internal/plan"
 	"rqp/internal/storage"
 	"rqp/internal/types"
 )
+
+// pageBufPool recycles seqScan page buffers across scans (and, under morsel
+// parallelism, across the many short-lived scans a query opens).
+var pageBufPool = sync.Pool{
+	New: func() any { return make([]types.Row, 0, storage.PageRows) },
+}
 
 // seqScan reads a heap table in physical order, applying the pushed-down
 // filter. It streams one page at a time, so its working memory is one
@@ -25,6 +33,9 @@ type seqScan struct {
 func (s *seqScan) Open() error {
 	s.npages = s.node.Table.Heap.NumPages()
 	s.page = 0
+	if s.buf == nil {
+		s.buf = pageBufPool.Get().([]types.Row)
+	}
 	s.buf = s.buf[:0]
 	s.pos = 0
 	return nil
@@ -66,7 +77,12 @@ func (s *seqScan) Next() (types.Row, bool, error) {
 }
 
 func (s *seqScan) Close() error {
-	s.buf = nil
+	if s.buf != nil {
+		b := s.buf[:cap(s.buf)]
+		clear(b) // don't let pooled memory pin row data
+		pageBufPool.Put(b[:0])
+		s.buf = nil
+	}
 	return nil
 }
 

@@ -1,0 +1,454 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"rqp/internal/types"
+)
+
+// EvalFn is a compiled expression: the tree-walking interpreter lowered to a
+// closure so per-row evaluation is one direct call instead of an
+// interface-dispatched walk. Compiled evaluation is semantically identical
+// to Expr.Eval, bit for bit, including error messages — the vectorized
+// executor's cost-parity invariant depends on it.
+type EvalFn func(row types.Row, params []types.Value) (types.Value, error)
+
+// Compile lowers a bound expression once (typically at operator Open):
+//   - constant subtrees fold to their value at compile time;
+//   - column references resolve to a captured index;
+//   - comparisons specialize on the statically known operand kinds (integer,
+//     string fast paths), guarded by runtime kind checks so mixed-kind rows
+//     still take the generic types.Compare path.
+func Compile(e Expr) EvalFn {
+	if fn := foldConst(e); fn != nil {
+		return fn
+	}
+	switch n := e.(type) {
+	case *Const:
+		v := n.V
+		return func(types.Row, []types.Value) (types.Value, error) { return v, nil }
+	case *Col:
+		return compileCol(n)
+	case *Param:
+		return compileParam(n)
+	case *Bin:
+		return compileBin(n)
+	case *Un:
+		return compileUn(n)
+	case *IsNull:
+		return compileIsNull(n)
+	case *In:
+		return compileIn(n)
+	case *Like:
+		return compileLike(n)
+	default:
+		// Func and any future node types evaluate through the interpreter.
+		return e.Eval
+	}
+}
+
+// CompileAll compiles a projection list.
+func CompileAll(es []Expr) []EvalFn {
+	fns := make([]EvalFn, len(es))
+	for i, e := range es {
+		fns[i] = Compile(e)
+	}
+	return fns
+}
+
+// foldConst returns a constant closure when e references no columns or
+// parameters and evaluates without error; otherwise nil. Constant subtrees
+// that error at evaluation stay dynamic so the runtime error surfaces
+// exactly as the interpreter would raise it.
+func foldConst(e Expr) EvalFn {
+	if _, ok := e.(*Const); ok {
+		return nil // the caller's Const case is already minimal
+	}
+	v, ok := constValue(e)
+	if !ok {
+		return nil
+	}
+	return func(types.Row, []types.Value) (types.Value, error) { return v, nil }
+}
+
+// constValue evaluates e at compile time when it references no columns or
+// parameters and does not error.
+func constValue(e Expr) (types.Value, bool) {
+	if c, ok := e.(*Const); ok {
+		return c.V, true
+	}
+	constOnly := true
+	e.Walk(func(n Expr) bool {
+		switch n.(type) {
+		case *Col, *Param:
+			constOnly = false
+			return false
+		}
+		return true
+	})
+	if !constOnly {
+		return types.Null(), false
+	}
+	v, err := e.Eval(nil, nil)
+	if err != nil {
+		return types.Null(), false
+	}
+	return v, true
+}
+
+func compileCol(c *Col) EvalFn {
+	idx, name := c.Index, c.Name
+	return func(row types.Row, _ []types.Value) (types.Value, error) {
+		if idx < 0 || idx >= len(row) {
+			return types.Null(), fmt.Errorf("expr: column %s index %d out of range %d", name, idx, len(row))
+		}
+		return row[idx], nil
+	}
+}
+
+func compileParam(p *Param) EvalFn {
+	idx := p.Index
+	return func(_ types.Row, params []types.Value) (types.Value, error) {
+		if idx < 0 || idx >= len(params) {
+			return types.Null(), fmt.Errorf("expr: parameter %d not bound (have %d)", idx, len(params))
+		}
+		return params[idx], nil
+	}
+}
+
+func compileBin(b *Bin) EvalFn {
+	l, r := Compile(b.L), Compile(b.R)
+	if b.Op == OpAnd || b.Op == OpOr {
+		return compileLogical(b.Op, l, r)
+	}
+	if b.Op.IsComparison() {
+		if fn := compileColConstCmp(b); fn != nil {
+			return fn
+		}
+		return compileCompare(b.Op, b.L.Kind(), b.R.Kind(), l, r)
+	}
+	op := b.Op
+	return func(row types.Row, params []types.Value) (types.Value, error) {
+		lv, err := l(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		rv, err := r(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return types.Null(), nil
+		}
+		return evalArith(op, lv, rv)
+	}
+}
+
+// compileLogical mirrors Bin.evalLogical: Kleene three-valued AND/OR with
+// the same short-circuit behaviour (the right operand is not evaluated when
+// the left already decides the result).
+func compileLogical(op Op, l, r EvalFn) EvalFn {
+	and := op == OpAnd
+	return func(row types.Row, params []types.Value) (types.Value, error) {
+		lv, err := l(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		if and && lv.K == types.KindBool && lv.I == 0 {
+			return types.Bool(false), nil
+		}
+		if !and && lv.IsTrue() {
+			return types.Bool(true), nil
+		}
+		rv, err := r(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		lt, ln := lv.IsTrue(), lv.IsNull()
+		rt, rn := rv.IsTrue(), rv.IsNull()
+		if and {
+			switch {
+			case lt && rt:
+				return types.Bool(true), nil
+			case (!lt && !ln) || (!rt && !rn):
+				return types.Bool(false), nil
+			default:
+				return types.Null(), nil
+			}
+		}
+		switch {
+		case lt || rt:
+			return types.Bool(true), nil
+		case ln || rn:
+			return types.Null(), nil
+		default:
+			return types.Bool(false), nil
+		}
+	}
+}
+
+// compileColConstCmp specializes the hottest filter shape — an integer
+// column compared against an integer constant — to a single closure with no
+// sub-closure calls: bounds check, NULL check, payload compare. A runtime
+// kind guard falls back to the generic types.Compare for rows whose value
+// kind differs from the column's static type, so results stay identical to
+// the interpreter. Returns nil when the shape does not match.
+func compileColConstCmp(b *Bin) EvalFn {
+	col, ok := b.L.(*Col)
+	cexpr := b.R
+	swapped := false
+	if !ok {
+		col, ok = b.R.(*Col)
+		cexpr = b.L
+		swapped = true
+	}
+	if !ok {
+		return nil
+	}
+	cv, ok := constValue(cexpr)
+	if !ok || cv.IsNull() || !intKind(cv.K) || !intKind(col.Typ) {
+		return nil
+	}
+	truth := cmpTruthFn(b.Op)
+	idx, name, ci := col.Index, col.Name, cv.I
+	return func(row types.Row, _ []types.Value) (types.Value, error) {
+		if idx < 0 || idx >= len(row) {
+			return types.Null(), fmt.Errorf("expr: column %s index %d out of range %d", name, idx, len(row))
+		}
+		v := row[idx]
+		if v.IsNull() {
+			return types.Null(), nil
+		}
+		var c int
+		if intKind(v.K) {
+			li, ri := v.I, ci
+			if swapped {
+				li, ri = ci, v.I
+			}
+			switch {
+			case li < ri:
+				c = -1
+			case li > ri:
+				c = 1
+			}
+		} else if swapped {
+			c = types.Compare(cv, v)
+		} else {
+			c = types.Compare(v, cv)
+		}
+		return types.Bool(truth(c)), nil
+	}
+}
+
+// cmpTruthFn returns the comparison's truth function over types.Compare's
+// three-way result.
+func cmpTruthFn(op Op) func(int) bool {
+	switch op {
+	case OpEQ:
+		return func(c int) bool { return c == 0 }
+	case OpNE:
+		return func(c int) bool { return c != 0 }
+	case OpLT:
+		return func(c int) bool { return c < 0 }
+	case OpLE:
+		return func(c int) bool { return c <= 0 }
+	case OpGT:
+		return func(c int) bool { return c > 0 }
+	default: // OpGE
+		return func(c int) bool { return c >= 0 }
+	}
+}
+
+func intKind(k types.Kind) bool { return k == types.KindInt || k == types.KindDate }
+
+// compileCompare specializes a comparison on the operands' static kinds.
+// Every fast path re-checks the runtime kinds and falls back to the generic
+// types.Compare when they differ from the static prediction, so results are
+// identical to the interpreter for any input.
+func compileCompare(op Op, lk, rk types.Kind, l, r EvalFn) EvalFn {
+	truth := cmpTruthFn(op)
+	generic := func(lv, rv types.Value) (types.Value, error) {
+		return types.Bool(truth(types.Compare(lv, rv))), nil
+	}
+	switch {
+	case intKind(lk) && intKind(rk):
+		// Both statically integer-valued: compare the I payloads directly
+		// (exactly types.Compare's non-float numeric branch).
+		return func(row types.Row, params []types.Value) (types.Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return types.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
+			if intKind(lv.K) && intKind(rv.K) {
+				switch {
+				case lv.I < rv.I:
+					return types.Bool(truth(-1)), nil
+				case lv.I > rv.I:
+					return types.Bool(truth(1)), nil
+				default:
+					return types.Bool(truth(0)), nil
+				}
+			}
+			return generic(lv, rv)
+		}
+	case lk == types.KindString && rk == types.KindString:
+		return func(row types.Row, params []types.Value) (types.Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return types.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
+			if lv.K == types.KindString && rv.K == types.KindString {
+				return types.Bool(truth(strings.Compare(lv.S, rv.S))), nil
+			}
+			return generic(lv, rv)
+		}
+	default:
+		return func(row types.Row, params []types.Value) (types.Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return types.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
+			return generic(lv, rv)
+		}
+	}
+}
+
+func compileUn(u *Un) EvalFn {
+	inner := Compile(u.E)
+	op := u.Op
+	return func(row types.Row, params []types.Value) (types.Value, error) {
+		v, err := inner(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		if v.IsNull() {
+			return types.Null(), nil
+		}
+		switch op {
+		case OpNot:
+			return types.Bool(!v.IsTrue()), nil
+		case OpNeg:
+			if v.K == types.KindFloat {
+				return types.Float(-v.F), nil
+			}
+			return types.Int(-v.AsInt()), nil
+		}
+		return types.Null(), fmt.Errorf("expr: unsupported unary op %v", op)
+	}
+}
+
+func compileIsNull(n *IsNull) EvalFn {
+	inner := Compile(n.E)
+	neg := n.Neg
+	return func(row types.Row, params []types.Value) (types.Value, error) {
+		v, err := inner(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.Bool(v.IsNull() != neg), nil
+	}
+}
+
+func compileIn(in *In) EvalFn {
+	inner := Compile(in.E)
+	items := CompileAll(in.List)
+	neg := in.Neg
+	return func(row types.Row, params []types.Value) (types.Value, error) {
+		v, err := inner(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		if v.IsNull() {
+			return types.Null(), nil
+		}
+		sawNull := false
+		for _, item := range items {
+			iv, err := item(row, params)
+			if err != nil {
+				return types.Null(), err
+			}
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if types.Equal(v, iv) {
+				return types.Bool(!neg), nil
+			}
+		}
+		if sawNull {
+			return types.Null(), nil
+		}
+		return types.Bool(neg), nil
+	}
+}
+
+func compileLike(l *Like) EvalFn {
+	inner := Compile(l.E)
+	pat, neg := l.Pattern, l.Neg
+	return func(row types.Row, params []types.Value) (types.Value, error) {
+		v, err := inner(row, params)
+		if err != nil {
+			return types.Null(), err
+		}
+		if v.IsNull() {
+			return types.Null(), nil
+		}
+		return types.Bool(likeMatch(v.S, pat) != neg), nil
+	}
+}
+
+// Pred is a compiled predicate: like EvalPredicate, NULL counts as false.
+type Pred struct {
+	fn EvalFn
+}
+
+// CompilePredicate compiles e for use as a filter.
+func CompilePredicate(e Expr) *Pred { return &Pred{fn: Compile(e)} }
+
+// Eval evaluates the predicate on one row.
+func (p *Pred) Eval(row types.Row, params []types.Value) (bool, error) {
+	v, err := p.fn(row, params)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTrue(), nil
+}
+
+// EvalBatch filters a selection vector in place: sel is overwritten with the
+// indices (in order) whose rows satisfy the predicate, and the retained
+// prefix is returned. Rows outside sel are not evaluated.
+func (p *Pred) EvalBatch(rows []types.Row, sel []int, params []types.Value) ([]int, error) {
+	out := sel[:0]
+	for _, i := range sel {
+		v, err := p.fn(rows[i], params)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsTrue() {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}

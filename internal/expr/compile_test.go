@@ -1,0 +1,240 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"rqp/internal/types"
+)
+
+// genValue produces a random value biased toward collisions (small domains)
+// and NULLs, so comparisons exercise every three-valued-logic branch.
+func genValue(rng *rand.Rand) types.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return types.Null()
+	case 1:
+		return types.Bool(rng.Intn(2) == 0)
+	case 2:
+		return types.Float(float64(rng.Intn(8)) / 2)
+	case 3:
+		return types.Str([]string{"a", "ab", "b", "ba", ""}[rng.Intn(5)])
+	default:
+		return types.Int(int64(rng.Intn(8) - 4))
+	}
+}
+
+// genRow produces a random row for the fixed 6-column test schema:
+// 0 int, 1 int, 2 float, 3 string, 4 bool, 5 anything (often NULL).
+func genRow(rng *rand.Rand) types.Row {
+	strs := []string{"a", "ab", "abc", "b", ""}
+	r := types.Row{
+		types.Int(int64(rng.Intn(10) - 5)),
+		types.Int(int64(rng.Intn(10) - 5)),
+		types.Float(float64(rng.Intn(10)) / 3),
+		types.Str(strs[rng.Intn(len(strs))]),
+		types.Bool(rng.Intn(2) == 0),
+		genValue(rng),
+	}
+	for i := range r {
+		if rng.Intn(7) == 0 {
+			r[i] = types.Null()
+		}
+	}
+	return r
+}
+
+var colKinds = []types.Kind{
+	types.KindInt, types.KindInt, types.KindFloat,
+	types.KindString, types.KindBool, types.KindNull,
+}
+
+// genExpr builds a random expression tree of the given depth over the test
+// schema, covering every node type the compiler specializes.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Const{V: genValue(rng)}
+		case 1:
+			return &Param{Index: rng.Intn(2)}
+		default:
+			i := rng.Intn(len(colKinds))
+			return &Col{Index: i, Name: "c", Typ: colKinds[i]}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return &Bin{
+			Op: []Op{OpAnd, OpOr}[rng.Intn(2)],
+			L:  genExpr(rng, depth-1),
+			R:  genExpr(rng, depth-1),
+		}
+	case 1:
+		return &Bin{
+			Op: []Op{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}[rng.Intn(6)],
+			L:  genExpr(rng, depth-1),
+			R:  genExpr(rng, depth-1),
+		}
+	case 2:
+		return &Bin{
+			Op: []Op{OpAdd, OpSub, OpMul, OpDiv, OpMod}[rng.Intn(5)],
+			L:  genExpr(rng, depth-1),
+			R:  genExpr(rng, depth-1),
+		}
+	case 3:
+		return &Un{Op: []Op{OpNot, OpNeg}[rng.Intn(2)], E: genExpr(rng, depth-1)}
+	case 4:
+		return &IsNull{E: genExpr(rng, depth-1), Neg: rng.Intn(2) == 0}
+	case 5:
+		list := make([]Expr, 1+rng.Intn(3))
+		for i := range list {
+			list[i] = genExpr(rng, 0)
+		}
+		return &In{E: genExpr(rng, depth-1), List: list, Neg: rng.Intn(2) == 0}
+	case 6:
+		pats := []string{"a%", "%b", "a_c", "%", "ab"}
+		return &Like{
+			E:       &Col{Index: 3, Name: "s", Typ: types.KindString},
+			Pattern: pats[rng.Intn(len(pats))],
+			Neg:     rng.Intn(2) == 0,
+		}
+	default:
+		// Out-of-range column: the compiled path must reproduce the exact
+		// evaluation error, not just values.
+		if rng.Intn(8) == 0 {
+			return &Col{Index: 6 + rng.Intn(2), Name: "bad", Typ: types.KindInt}
+		}
+		return genExpr(rng, 0)
+	}
+}
+
+// TestCompiledMatchesInterpreted is the compiler's core property: for
+// random expression trees and random rows, Compile(e) returns exactly what
+// e.Eval returns — same value (NULLs included) or same error.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	params := []types.Value{types.Int(3), types.Null()}
+	for trial := 0; trial < 2000; trial++ {
+		e := genExpr(rng, 1+rng.Intn(3))
+		fn := Compile(e)
+		for i := 0; i < 5; i++ {
+			row := genRow(rng)
+			want, werr := e.Eval(row, params)
+			got, gerr := fn(row, params)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s on %v: interpreted err=%v compiled err=%v", e, row, werr, gerr)
+			}
+			if werr != nil {
+				if werr.Error() != gerr.Error() {
+					t.Fatalf("%s on %v: error text %q != %q", e, row, werr, gerr)
+				}
+				continue
+			}
+			if !valueEq(want, got) {
+				t.Fatalf("%s on %v: interpreted %s != compiled %s", e, row, want, got)
+			}
+		}
+	}
+}
+
+func valueEq(a, b types.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	if a.K != b.K {
+		return false
+	}
+	return types.Compare(a, b) == 0
+}
+
+// TestCompileConstantFolding: constant subtrees are evaluated once at
+// compile time; the compiled closure for a pure-constant tree must be a
+// captured value (verified behaviorally — it works on a nil row where a Col
+// would fail, and division by a constant zero folds to NULL).
+func TestCompileConstantFolding(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want types.Value
+	}{
+		{&Bin{Op: OpAdd, L: &Const{V: types.Int(2)}, R: &Const{V: types.Int(3)}}, types.Int(5)},
+		{&Bin{Op: OpLT, L: &Const{V: types.Int(2)}, R: &Const{V: types.Int(3)}}, types.Bool(true)},
+		{&Bin{Op: OpDiv, L: &Const{V: types.Int(1)}, R: &Const{V: types.Int(0)}}, types.Null()},
+		{&Un{Op: OpNot, E: &Const{V: types.Bool(false)}}, types.Bool(true)},
+		{&IsNull{E: &Const{V: types.Null()}}, types.Bool(true)},
+	}
+	for _, c := range cases {
+		got, err := Compile(c.e)(nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if !valueEq(got, c.want) {
+			t.Errorf("%s: got %s want %s", c.e, got, c.want)
+		}
+	}
+	// Param subtrees must NOT fold: the same compiled expression re-bound
+	// with different params sees the new values.
+	fn := Compile(&Bin{Op: OpAdd, L: &Param{Index: 0}, R: &Const{V: types.Int(1)}})
+	for _, p := range []int64{5, 9} {
+		got, err := fn(nil, []types.Value{types.Int(p)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.I != p+1 {
+			t.Errorf("param fold: got %s want %d", got, p+1)
+		}
+	}
+}
+
+// TestPredEvalBatch: the batch predicate entry must keep exactly the rows
+// per-row EvalPredicate keeps, in order, for arbitrary incoming selection
+// vectors.
+func TestPredEvalBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	params := []types.Value{types.Int(1), types.Int(2)}
+	for trial := 0; trial < 300; trial++ {
+		e := genExpr(rng, 1+rng.Intn(3))
+		pred := CompilePredicate(e)
+		rows := make([]types.Row, 40)
+		for i := range rows {
+			rows[i] = genRow(rng)
+		}
+		// Random incoming selection: a sorted subset of row indices.
+		sel := make([]int, 0, len(rows))
+		for i := range rows {
+			if rng.Intn(3) > 0 {
+				sel = append(sel, i)
+			}
+		}
+		var want []int
+		wantErrAt := -1
+		for _, i := range sel {
+			ok, err := EvalPredicate(e, rows[i], params)
+			if err != nil {
+				wantErrAt = i
+				break
+			}
+			if ok {
+				want = append(want, i)
+			}
+		}
+		got, err := pred.EvalBatch(rows, append([]int(nil), sel...), params)
+		if wantErrAt >= 0 {
+			if err == nil {
+				t.Fatalf("%s: batch missed error at row %d", e, wantErrAt)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: batch err %v, per-row clean", e, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: batch kept %d rows, per-row kept %d", e, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: sel[%d]=%d want %d", e, i, got[i], want[i])
+			}
+		}
+	}
+}

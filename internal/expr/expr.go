@@ -257,7 +257,9 @@ func evalArith(op Op, l, r types.Value) (types.Value, error) {
 			}
 			return types.Float(lf / rf), nil
 		case OpMod:
-			if rf == 0 {
+			// Modulo truncates to integers; a divisor in (-1, 1) truncates
+			// to zero and must yield NULL like any zero divisor.
+			if int64(rf) == 0 {
 				return types.Null(), nil
 			}
 			return types.Float(float64(int64(lf) % int64(rf))), nil

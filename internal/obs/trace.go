@@ -38,7 +38,7 @@ type Span struct {
 	label    string
 	estRows  float64
 	actual   float64 // -1 until finished
-	cost     float64 // inclusive cost units
+	cost     int64   // inclusive cost, in integer clock sub-units
 	calls    int64   // Next invocations
 	finished bool
 	children []*Span
@@ -65,7 +65,7 @@ func (s *Span) ActualRows() float64 {
 func (s *Span) Cost() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cost
+	return float64(s.cost) / storage.ClockScale
 }
 
 // Calls returns the number of Next invocations.
@@ -78,10 +78,14 @@ func (s *Span) Calls() int64 {
 // Children returns the child spans (operator-tree order).
 func (s *Span) Children() []*Span { return s.children }
 
-// AddCost accrues cost units (called around Open/Next/Close).
+// AddCost accrues cost units (called around Open/Next/Close). Accumulation
+// happens in the clock's integer sub-unit domain, so attributing the same
+// total cost in a different number of installments (row-at-a-time vs. batch)
+// yields bit-identical span costs.
 func (s *Span) AddCost(units float64) {
+	u := int64(math.Round(units * storage.ClockScale))
 	s.mu.Lock()
-	s.cost += units
+	s.cost += u
 	s.mu.Unlock()
 }
 

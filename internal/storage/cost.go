@@ -50,7 +50,12 @@ type Clock struct {
 // NewClock returns a clock over the given cost model.
 func NewClock(m CostModel) *Clock { return &Clock{model: m} }
 
-const clockScale = 1e6
+// ClockScale is the clock's integer sub-unit resolution: one cost unit is
+// ClockScale atomic increments. Exported so observers (trace spans) can
+// accumulate attributed cost in the same exact integer domain.
+const ClockScale = 1e6
+
+const clockScale = ClockScale
 
 func (c *Clock) add(u float64) { atomic.AddInt64(&c.units, int64(u*clockScale)) }
 
@@ -80,6 +85,25 @@ func (c *Clock) RowWork(n int) {
 
 // Probes charges n hash probes.
 func (c *Clock) Probes(n int) { c.add(c.model.HashProbe * float64(n)) }
+
+// addBatch charges n repetitions of the scaled unit charge u in one atomic
+// add. Because every single-unit charge truncates the same float constant to
+// the same integer, int64(n)*int64(u*clockScale) is exactly equal to n
+// separate charges — the arithmetic identity the vectorized executor's
+// cost-parity invariant rests on.
+func (c *Clock) addBatch(n int, u float64) {
+	atomic.AddInt64(&c.units, int64(n)*int64(u*clockScale))
+}
+
+// RowWorkBatch charges per-row CPU for n rows, exactly equal to n calls of
+// RowWork(1).
+func (c *Clock) RowWorkBatch(n int) {
+	atomic.AddInt64(&c.rowsCPU, int64(n))
+	c.addBatch(n, c.model.RowCPU)
+}
+
+// ProbesBatch charges n hash probes, exactly equal to n calls of Probes(1).
+func (c *Clock) ProbesBatch(n int) { c.addBatch(n, c.model.HashProbe) }
 
 // Compares charges n comparisons.
 func (c *Clock) Compares(n int) { c.add(c.model.Compare * float64(n)) }
