@@ -8,6 +8,8 @@
 //	rqpbench -scale 0.25     # shrink workloads for a quick pass
 //	rqpbench -list           # list experiments
 //	rqpbench -json           # machine-readable results on stdout
+//	rqpbench -mem-sweep      # memory-degradation robustness map
+//	rqpbench -json -mem-sweep -o BENCH_spill.json
 package main
 
 import (
@@ -43,10 +45,24 @@ type queryJSON struct {
 	QErrorGeomean float64 `json:"qerror_geomean"`
 }
 
+// memSweepJSON is one rung of the memory-degradation robustness map: the
+// sweep suite run under one workspace budget.
+type memSweepJSON struct {
+	BudgetRows      int     `json:"budget_rows"`
+	CostUnits       float64 `json:"cost_units"`
+	SpillPartitions int     `json:"spill_partitions"`
+	SpillRows       int     `json:"spill_rows"`
+	SpillPages      int     `json:"spill_pages"`
+	RecursionDepth  int     `json:"recursion_depth"`
+	MergeFallbacks  int     `json:"merge_fallbacks"`
+	ResultExact     bool    `json:"result_exact"`
+}
+
 type benchJSON struct {
 	Scale       float64          `json:"scale"`
 	Experiments []experimentJSON `json:"experiments"`
 	Queries     []queryJSON      `json:"queries"`
+	MemSweep    []memSweepJSON   `json:"mem_sweep,omitempty"`
 }
 
 // probeQueries runs a small correlation-trap star workload under each
@@ -98,6 +114,8 @@ func main() {
 		noProbes = flag.Bool("no-probes", false, "with -json, skip the per-query traced probes")
 		dop      = flag.Int("dop", 0, "degree of parallelism for traced probes (0/1 serial, -1 all cores)")
 		vec      = flag.Bool("vec", false, "vectorized batch execution for traced probes")
+		memSweep = flag.Bool("mem-sweep", false,
+			"run the memory-degradation sweep: per-budget cost curves with spill statistics")
 	)
 	flag.Parse()
 
@@ -111,6 +129,10 @@ func main() {
 	ids := experiments.IDs()
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")
+	} else if *memSweep {
+		// -mem-sweep alone runs just the sweep; combine with -e to add
+		// experiments.
+		ids = nil
 	}
 	result := benchJSON{Scale: *scale, Experiments: []experimentJSON{}, Queries: []queryJSON{}}
 	failed := 0
@@ -141,8 +163,29 @@ func main() {
 			fmt.Printf("(%s wall time: %v)\n\n", id, wall.Round(time.Millisecond))
 		}
 	}
+	if *memSweep {
+		start := time.Now()
+		rep, points, err := experiments.MemSweep(*scale)
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mem-sweep failed: %v\n", err)
+			failed++
+		} else if *asJSON {
+			for _, p := range points {
+				result.MemSweep = append(result.MemSweep, memSweepJSON{
+					BudgetRows: p.Budget, CostUnits: p.Units,
+					SpillPartitions: p.Partitions, SpillRows: p.SpillRows,
+					SpillPages: p.SpillPages, RecursionDepth: p.MaxDepth,
+					MergeFallbacks: p.Fallbacks, ResultExact: p.Match,
+				})
+			}
+		} else {
+			fmt.Println(rep)
+			fmt.Printf("(mem-sweep wall time: %v)\n\n", wall.Round(time.Millisecond))
+		}
+	}
 	if *asJSON {
-		if !*noProbes {
+		if !*noProbes && (!*memSweep || *exps != "") {
 			qs, err := probeQueries(*scale, *dop, *vec)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "query probes failed: %v\n", err)

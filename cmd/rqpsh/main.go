@@ -8,6 +8,8 @@
 //	rqpsh                        # empty database, classic policy
 //	rqpsh -db tpch -scale 0.5    # preloaded TPC-H-lite
 //	rqpsh -policy pop -leo       # POP execution with LEO feedback
+//	rqpsh -db tpch -mem 200      # tight workspace: big hash joins spill
+//	rqpsh -db tpch -mem 2000 -mem-shrink 200   # budget collapses mid-query
 //	echo "SELECT 1 FROM r" | rqpsh -db tpch
 package main
 
@@ -26,15 +28,20 @@ import (
 
 func main() {
 	var (
-		db     = flag.String("db", "", "preload a workload database: tpch | star | (empty)")
-		scale  = flag.Float64("scale", 0.5, "workload scale for -db")
-		policy = flag.String("policy", "classic", "execution policy: classic | pop | pop-eager | rio")
-		mode   = flag.String("estimate", "expected", "estimation mode: expected | percentile | correlated")
-		leo    = flag.Bool("leo", false, "enable LEO execution feedback")
-		cache  = flag.Bool("cache", false, "enable the plan cache (classic policy)")
-		mpl    = flag.Int("mpl", 0, "admission control multiprogramming limit (0 = unlimited)")
-		dop    = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
-		vec    = flag.Bool("vec", false, "enable vectorized batch execution with compiled expressions")
+		db        = flag.String("db", "", "preload a workload database: tpch | star | (empty)")
+		scale     = flag.Float64("scale", 0.5, "workload scale for -db")
+		policy    = flag.String("policy", "classic", "execution policy: classic | pop | pop-eager | rio")
+		mode      = flag.String("estimate", "expected", "estimation mode: expected | percentile | correlated")
+		leo       = flag.Bool("leo", false, "enable LEO execution feedback")
+		cache     = flag.Bool("cache", false, "enable the plan cache (classic policy)")
+		mpl       = flag.Int("mpl", 0, "admission control multiprogramming limit (0 = unlimited)")
+		dop       = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
+		vec       = flag.Bool("vec", false, "enable vectorized batch execution with compiled expressions")
+		mem       = flag.Int("mem", 0, "workspace memory budget in rows (0 = default); operators over budget spill")
+		memShrink = flag.Int("mem-shrink", 0,
+			"inject memory pressure: budget declines from -mem to this floor across grants mid-query")
+		memPool = flag.Int("mempool", 0,
+			"with -mpl, workspace rows shared by running queries (arrivals reclaim from the running)")
 	)
 	flag.Parse()
 
@@ -66,9 +73,16 @@ func main() {
 	cfg.LEO = *leo
 	if *mpl > 0 {
 		cfg.Admission = wlm.NewAdmitter(*mpl)
+		cfg.MemPoolRows = *memPool
 	}
 	cfg.DOP = *dop
 	cfg.Vec = *vec
+	if *mem > 0 {
+		cfg.MemBudgetRows = *mem
+	}
+	if *memShrink > 0 {
+		cfg.MemSchedule = wlm.DecliningMemory(cfg.MemBudgetRows, *memShrink, 8)
+	}
 
 	var eng *core.Engine
 	switch *db {

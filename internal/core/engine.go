@@ -71,6 +71,16 @@ type Config struct {
 	// workload-management multiprogramming limit; rejected queries fail
 	// fast and are counted in the metrics registry.
 	Admission *wlm.Admitter
+	// MemSchedule, when non-nil, injects memory pressure: the per-query
+	// broker re-reads its budget from the schedule at every grant, so the
+	// workspace can shrink (or oscillate) while operators are mid-flight
+	// and their hash tables and sort runs spill instead of failing.
+	MemSchedule wlm.MemorySchedule
+	// MemPoolRows, with Admission set, makes concurrently running queries
+	// share one workspace pool: each query's broker is attached on entry
+	// and detached on exit, and every arrival reclaims budget from the
+	// queries already running (equal shares).
+	MemPoolRows int
 	// DOP is the degree of parallelism for SELECT execution: 0 or 1 run
 	// serial, above 1 enables morsel-driven parallel operators on eligible
 	// plan nodes, negative means one worker per core. When Admission is
@@ -346,6 +356,9 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 	if e.Cfg.MemBudgetRows > 0 {
 		ctx.Mem = exec.NewMemBroker(e.Cfg.MemBudgetRows)
 	}
+	if e.Cfg.MemSchedule != nil {
+		ctx.Mem.SetSchedule(e.Cfg.MemSchedule)
+	}
 	var trace *obs.Trace
 	if (forceTrace || e.Cfg.TraceAll) && !explainOnly {
 		trace = obs.NewTrace(ctx.Clock)
@@ -370,6 +383,14 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		}
 		e.Metrics.Counter("rqp_wlm_admitted_total").Inc()
 		defer e.Cfg.Admission.Done()
+		if e.Cfg.MemPoolRows > 0 {
+			e.Cfg.Admission.SetMemPool(e.Cfg.MemPoolRows)
+			share := e.Cfg.Admission.AttachMem(ctx.Mem)
+			defer e.Cfg.Admission.DetachMem(ctx.Mem)
+			if trace != nil {
+				trace.Event("wlm.mem", fmt.Sprintf("pool=%d share=%d", e.Cfg.MemPoolRows, share))
+			}
+		}
 	}
 
 	// Degree of parallelism: resolve the configured value, then let the
@@ -551,6 +572,15 @@ func (e *Engine) recordQueryMetrics(res *Result, ctx *exec.Context, qerrs []floa
 		m.Counter("rqp_mem_overcommit_total").Add(int64(oc))
 	}
 	m.Gauge("rqp_mem_peak_rows").Set(float64(ctx.Mem.PeakUse()))
+	if parts, rows, pages, maxDepth, fallbacks := ctx.Spill.Snapshot(); parts > 0 {
+		m.Counter("rqp_spill_partitions_total").Add(int64(parts))
+		m.Counter("rqp_spill_rows_total").Add(int64(rows))
+		m.Counter("rqp_spill_pages_written_total").Add(int64(pages))
+		m.Gauge("rqp_spill_recursion_depth").Set(float64(maxDepth))
+		if fallbacks > 0 {
+			m.Counter("rqp_spill_merge_fallbacks_total").Add(int64(fallbacks))
+		}
+	}
 }
 
 func (e *Engine) execInsert(s *sql.InsertStmt, params []types.Value) (*Result, error) {

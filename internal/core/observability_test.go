@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -183,5 +184,119 @@ func TestTraceMemEvents(t *testing.T) {
 	}
 	if r.Trace.CountEvents("mem.release") < 1 {
 		t.Fatal("no mem.release events traced")
+	}
+}
+
+// spillEngine builds an engine whose join build side dwarfs the configured
+// memory budget. budget <= 0 means unlimited.
+func spillEngine(t *testing.T, budget, dop int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	if budget > 0 {
+		cfg.MemBudgetRows = budget
+	}
+	cfg.DOP = dop
+	e := Open(cfg)
+	e.MustExec("CREATE TABLE bld (k int, v int)")
+	e.MustExec("CREATE TABLE prb (k int, w int)")
+	for i := 0; i < 800; i++ {
+		e.MustExec("INSERT INTO bld VALUES (?, ?)", types.Int(int64(i%130)), types.Int(int64(i)))
+	}
+	for i := 0; i < 400; i++ {
+		e.MustExec("INSERT INTO prb VALUES (?, ?)", types.Int(int64(i%130)), types.Int(int64(i)))
+	}
+	e.MustExec("ANALYZE bld")
+	e.MustExec("ANALYZE prb")
+	return e
+}
+
+func sortedRowText(rows []types.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestExplainAnalyzeShowsSpill: a hash join whose build side is ~8x the
+// memory budget spills, stays correct against an unlimited-budget run at
+// DOP 1 and 4, and EXPLAIN ANALYZE surfaces the partitions and recursion
+// depth in its event log.
+func TestExplainAnalyzeShowsSpill(t *testing.T) {
+	const q = "SELECT bld.v, prb.w FROM bld JOIN prb ON bld.k = prb.k"
+	want := sortedRowText(spillEngine(t, 0, 1).MustExec(q).Rows)
+	for _, dop := range []int{1, 4} {
+		e := spillEngine(t, 100, dop) // build side 800 rows: ~8x the budget
+		got := sortedRowText(e.MustExec(q).Rows)
+		if len(got) != len(want) {
+			t.Fatalf("dop=%d: %d rows under pressure, want %d", dop, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("dop=%d: row %d = %q, want %q", dop, i, got[i], want[i])
+			}
+		}
+		r := e.MustExec("EXPLAIN ANALYZE " + q)
+		if r.Trace.CountEvents("spill.partition") < 1 {
+			t.Fatalf("dop=%d: no spill.partition events traced", dop)
+		}
+		if !strings.Contains(r.Plan, "spill.partition") || !strings.Contains(r.Plan, "depth=") {
+			t.Fatalf("dop=%d: EXPLAIN ANALYZE output missing spill events:\n%s", dop, r.Plan)
+		}
+		if e.Metrics.Counter("rqp_spill_partitions_total").Value() < 1 {
+			t.Fatalf("dop=%d: spill partitions not counted in registry", dop)
+		}
+		if !strings.Contains(e.Metrics.Expose(), "rqp_spill_pages_written_total") {
+			t.Fatalf("dop=%d: exposition missing spill counters", dop)
+		}
+	}
+}
+
+// TestMemScheduleInjection: a declining memory schedule shrinks the budget
+// between grants mid-query; results stay identical to the unlimited run.
+func TestMemScheduleInjection(t *testing.T) {
+	const q = "SELECT bld.k, COUNT(*), SUM(bld.v) FROM bld JOIN prb ON bld.k = prb.k GROUP BY bld.k"
+	want := sortedRowText(spillEngine(t, 0, 1).MustExec(q).Rows)
+	e := spillEngine(t, 0, 1)
+	e.Cfg.MemSchedule = wlm.DecliningMemory(2048, 48, 6)
+	got := sortedRowText(e.MustExec(q).Rows)
+	if len(got) != len(want) {
+		t.Fatalf("%d rows under shrinking budget, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMemPoolAttachesQueries: with admission and a memory pool configured,
+// each admitted query's broker is attached to the pool and the share is
+// traced.
+func TestMemPoolAttachesQueries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Admission = wlm.NewAdmitter(4)
+	cfg.MemPoolRows = 500
+	e := Open(cfg)
+	e.MustExec("CREATE TABLE t (a int)")
+	e.MustExec("INSERT INTO t VALUES (1), (2), (3)")
+	e.MustExec("ANALYZE t")
+	r := e.MustExec("EXPLAIN ANALYZE SELECT a FROM t ORDER BY a")
+	if r.Trace.CountEvents("wlm.mem") != 1 {
+		t.Fatal("memory pool attach not traced")
+	}
+	found := false
+	for _, ev := range r.Trace.Events() {
+		if ev.Kind == "wlm.mem" && strings.Contains(ev.Detail, "pool=500 share=500") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wlm.mem event missing pool/share detail: %v", r.Trace.Events())
 	}
 }

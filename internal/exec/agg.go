@@ -114,9 +114,12 @@ type group struct {
 	states []aggState
 }
 
-// hashAgg groups via a hash table. Output order is made deterministic by
-// sorting groups on the key (cheap relative to the aggregation itself and
-// essential for reproducible experiment output).
+// hashAgg groups via a hash table bounded by the broker's grant: group
+// state beyond the grant spills input rows to hash partitions that
+// re-aggregate recursively after the input is exhausted (aggSink). Output
+// order is made deterministic by sorting groups on the key (cheap relative
+// to the aggregation itself and essential for reproducible experiment
+// output).
 type hashAgg struct {
 	ctx   *Context
 	node  *plan.AggNode
@@ -130,8 +133,9 @@ func (h *hashAgg) Open() error {
 	if err := h.child.Open(); err != nil {
 		return err
 	}
-	groups := map[uint64][]*group{}
-	var order []*group
+	sink := newAggSink(h.ctx, h.node, 0)
+	defer sink.close()
+	key := make([]types.Value, len(h.node.GroupExprs))
 	for {
 		r, ok, err := h.child.Next()
 		if err != nil {
@@ -141,7 +145,6 @@ func (h *hashAgg) Open() error {
 			break
 		}
 		h.ctx.Clock.Probes(1)
-		key := make([]types.Value, len(h.node.GroupExprs))
 		for i, ge := range h.node.GroupExprs {
 			v, err := ge.Eval(r, h.ctx.Params)
 			if err != nil {
@@ -149,22 +152,15 @@ func (h *hashAgg) Open() error {
 			}
 			key[i] = v
 		}
-		hash := types.HashRow(key)
-		var g *group
-		for _, cand := range groups[hash] {
-			if rowsEqual(cand.key, key) {
-				g = cand
-				break
-			}
-		}
-		if g == nil {
-			g = &group{key: key, states: make([]aggState, len(h.node.Aggs))}
-			groups[hash] = append(groups[hash], g)
-			order = append(order, g)
-		}
-		if err := accumGroup(g, h.node, r, h.ctx.Params); err != nil {
+		if err := sink.add(key, r, func(g *group) error {
+			return accumGroup(g, h.node, r, h.ctx.Params)
+		}); err != nil {
 			return err
 		}
+	}
+	order, err := sink.finish()
+	if err != nil {
+		return err
 	}
 	// Global aggregate with no groups and no input still yields one row.
 	if len(order) == 0 && len(h.node.GroupExprs) == 0 {

@@ -408,10 +408,14 @@ func (p *batchProject) Close() error { return p.child.Close() }
 // ---------- batch hash join (probe side) ----------
 
 // batchHashJoin builds its hash table exactly like hashJoin (row-at-a-time
-// drain of the right child, same grant and grace-spill charges) and probes
-// with left batches: one hash probe per left row, one unit of row work per
+// drain of the right child, same grant and spill behaviour) and probes with
+// left batches: one hash probe per left row, one unit of row work per
 // emitted row, residual through a compiled predicate. An output batch holds
-// every match of one input batch, so it may exceed BatchRows.
+// every match of one input batch, so it may exceed BatchRows. Under memory
+// pressure the build delegates to the same spillJoin as the row path: probe
+// rows of spilled partitions defer (cloned out of the volatile batch), and
+// their output — already charged row by row inside the replay — streams as
+// tail batches after the probe input is exhausted.
 type batchHashJoin struct {
 	ctx      *Context
 	node     *plan.JoinNode
@@ -420,12 +424,16 @@ type batchHashJoin struct {
 	residual *expr.Pred
 
 	table  map[uint64][]types.Row
+	spill  *spillJoin
 	grant  int
 	rWidth int
 	in     Batch
 	key    []types.Value
 	ckey   []types.Value
 	nulls  types.Row
+	tail   []types.Row
+	tpos   int
+	lDone  bool
 }
 
 func (j *batchHashJoin) Open() error {
@@ -439,20 +447,18 @@ func (j *batchHashJoin) Open() error {
 	j.rWidth = len(j.node.Kids[1].Schema())
 	j.grant = j.ctx.Mem.Grant(len(build))
 	if len(build) > j.grant {
-		// grace partitioning: one extra write+read pass over both inputs
-		spill := (len(build) + storage.PageRows - 1) / storage.PageRows
-		j.ctx.Clock.Write(spill)
-		j.ctx.Clock.SeqRead(spill)
-	}
-	j.table = make(map[uint64][]types.Row, len(build))
-	key := make([]types.Value, len(j.node.RightKeys))
-	for _, r := range build {
-		j.ctx.Clock.Probes(2) // insert costs double a probe (see cost model)
-		keyInto(key, r, j.node.RightKeys)
-		if keyHasNull(key) {
-			continue
+		j.spill = newSpillJoin(j.ctx, j.node, build, j.grant, j.rWidth, 0)
+	} else {
+		j.table = make(map[uint64][]types.Row, len(build))
+		key := make([]types.Value, len(j.node.RightKeys))
+		for _, r := range build {
+			j.ctx.Clock.Probes(2) // insert costs double a probe (see cost model)
+			keyInto(key, r, j.node.RightKeys)
+			if keyHasNull(key) {
+				continue
+			}
+			j.table[types.HashRow(key)] = append(j.table[types.HashRow(key)], r)
 		}
-		j.table[types.HashRow(key)] = append(j.table[types.HashRow(key)], r)
 	}
 	j.key = make([]types.Value, len(j.node.LeftKeys))
 	j.ckey = make([]types.Value, len(j.node.RightKeys))
@@ -460,17 +466,48 @@ func (j *batchHashJoin) Open() error {
 	if j.node.Residual != nil {
 		j.residual = expr.CompilePredicate(j.node.Residual)
 	}
+	j.tail, j.tpos, j.lDone = nil, 0, false
 	return nil
+}
+
+// tailBatch streams the deferred-partition output in BatchRows chunks. Its
+// rows were charged (row work, probes) inside the spill replay, so no batch
+// charge applies here.
+func (j *batchHashJoin) tailBatch(b *Batch) int {
+	if j.tpos >= len(j.tail) {
+		return 0
+	}
+	end := j.tpos + BatchRows
+	if end > len(j.tail) {
+		end = len(j.tail)
+	}
+	b.Rows = append(b.Rows[:0], j.tail[j.tpos:end]...)
+	b.Sel = identitySel(b.Sel, len(b.Rows))
+	j.tpos = end
+	return len(b.Rows)
 }
 
 func (j *batchHashJoin) NextBatch(b *Batch) (int, error) {
 	for {
+		if j.lDone {
+			return j.tailBatch(b), nil
+		}
 		n, err := j.left.NextBatch(&j.in)
 		if err != nil {
 			return 0, err
 		}
 		if n == 0 {
-			return 0, nil
+			j.lDone = true
+			if j.spill != nil {
+				err := j.spill.finish(func(r types.Row) error {
+					j.tail = append(j.tail, r)
+					return nil
+				})
+				if err != nil {
+					return 0, err
+				}
+			}
+			continue
 		}
 		j.ctx.Clock.ProbesBatch(n)
 		b.Rows = b.Rows[:0]
@@ -478,8 +515,15 @@ func (j *batchHashJoin) NextBatch(b *Batch) (int, error) {
 			lr := j.in.Rows[i]
 			keyInto(j.key, lr, j.node.LeftKeys)
 			matched := false
+			deferred := false
 			if !keyHasNull(j.key) {
-				for _, cand := range j.table[types.HashRow(j.key)] {
+				var cands []types.Row
+				if j.spill != nil {
+					cands, deferred = j.spill.probe(lr, j.key)
+				} else {
+					cands = j.table[types.HashRow(j.key)]
+				}
+				for _, cand := range cands {
 					keyInto(j.ckey, cand, j.node.RightKeys)
 					if !keysEqual(j.key, j.ckey) {
 						continue
@@ -498,7 +542,7 @@ func (j *batchHashJoin) NextBatch(b *Batch) (int, error) {
 					b.Rows = append(b.Rows, out)
 				}
 			}
-			if j.node.Type == plan.LeftOuter && !matched {
+			if j.node.Type == plan.LeftOuter && !matched && !deferred {
 				b.Rows = append(b.Rows, types.Concat(lr, j.nulls))
 			}
 		}
@@ -512,6 +556,11 @@ func (j *batchHashJoin) NextBatch(b *Batch) (int, error) {
 
 func (j *batchHashJoin) Close() error {
 	j.table = nil
+	j.tail = nil
+	if j.spill != nil {
+		j.spill.close()
+		j.spill = nil
+	}
 	j.ctx.Mem.Release(j.grant)
 	j.grant = 0
 	return j.left.Close()
@@ -522,7 +571,10 @@ func (j *batchHashJoin) Close() error {
 // batchHashAgg consumes its child in batches at Open, accumulating through
 // compiled group and aggregate-argument expressions, then emits the sorted
 // groups in batches. Charges match hashAgg: one hash probe per input row,
-// one unit of row work per output group.
+// one unit of row work per output group. Group state is bounded by the same
+// aggSink as the row path — rows are fed in identical (serial) order, so
+// the spill trigger, partition contents and recursion charges are
+// batch/row identical under pressure.
 type batchHashAgg struct {
 	ctx   *Context
 	node  *plan.AggNode
@@ -546,7 +598,8 @@ func (a *batchHashAgg) Open() error {
 			a.argFns[i] = expr.Compile(spec.Arg)
 		}
 	}
-	part := newAggPartial()
+	sink := newAggSink(a.ctx, a.node, 0)
+	defer sink.close()
 	key := make([]types.Value, len(a.groupFns))
 	var in Batch
 	for {
@@ -567,13 +620,17 @@ func (a *batchHashAgg) Open() error {
 				}
 				key[gi] = v
 			}
-			g := part.groupFor(key, types.HashRow(key), len(a.node.Aggs))
-			if err := accumGroupFns(g, a.node, a.argFns, r, a.ctx.Params); err != nil {
+			if err := sink.add(key, r, func(g *group) error {
+				return accumGroupFns(g, a.node, a.argFns, r, a.ctx.Params)
+			}); err != nil {
 				return err
 			}
 		}
 	}
-	order := part.order
+	order, err := sink.finish()
+	if err != nil {
+		return err
+	}
 	// Global aggregate with no groups and no input still yields one row.
 	if len(order) == 0 && len(a.node.GroupExprs) == 0 {
 		order = append(order, &group{states: make([]aggState, len(a.node.Aggs))})

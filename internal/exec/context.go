@@ -1,9 +1,3 @@
-// Package exec implements the Volcano-style iterator execution engine: one
-// operator per physical plan node, per-operator actual-cardinality
-// accounting (the raw input of every robustness metric), a memory broker
-// with grow-and-shrink semantics for sorts and hash joins, and the adaptive
-// operators (symmetric hash join, generalized join) the Dagstuhl report's
-// query-execution sessions discuss.
 package exec
 
 import (
@@ -38,6 +32,10 @@ type Context struct {
 	// expressions; with DOP above one the morsel operators compile their
 	// hot-loop expressions instead (a morsel is already a batch).
 	Vec bool
+	// Spill aggregates graceful-degradation activity (partitions spilled,
+	// temp-run rows/pages written, recursion depth, merge fallbacks) across
+	// the query's operators. Nil-safe: a nil Spill records nothing.
+	Spill *SpillStats
 }
 
 // NewContext returns a context over a fresh clock and an effectively
@@ -46,6 +44,7 @@ func NewContext() *Context {
 	return &Context{
 		Clock: storage.NewClock(storage.DefaultCostModel()),
 		Mem:   NewMemBroker(1 << 30),
+		Spill: &SpillStats{},
 	}
 }
 
@@ -59,6 +58,8 @@ type MemBroker struct {
 	inUse       int
 	peak        int
 	overcommits int
+	schedule    func(step int) int
+	step        int
 	// OnEvent, if set, observes every grant and release ("grant" or
 	// "release", the rows moved, in-use after, and the budget) — the trace
 	// hook for memory-pressure diagnostics.
@@ -85,12 +86,36 @@ func (m *MemBroker) Budget() int {
 	return m.budget
 }
 
-// Grant requests up to want rows of workspace; the broker returns what it
-// can give (at least min(want, 16) so operators always make progress).
-// Progress-floor grants can push use past the budget; such overcommits are
-// counted and surfaced through Overcommits and the metrics registry.
-func (m *MemBroker) Grant(want int) int {
+// SetSchedule installs a memory-pressure schedule: before every grant the
+// broker re-reads its budget as schedule(step) for a step counter that
+// advances per grant — the fault injector behind Config.MemSchedule and the
+// rqpsh -mem-shrink flag, stepping the budget mid-query at exactly the
+// moments operators re-negotiate memory. A nil schedule (the default)
+// leaves the budget alone. Resets the step counter.
+func (m *MemBroker) SetSchedule(f func(step int) int) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.schedule = f
+	m.step = 0
+}
+
+// Grant requests up to want rows of workspace; the broker returns what it
+// can give, and never less than min(want, 16): the progress floor that
+// guarantees every operator can always make forward progress no matter how
+// far the budget has been shrunk (a zero grant would leave grant-sized-run
+// loops spinning forever). Non-positive requests return zero without
+// touching broker state. Progress-floor grants can push use past the
+// budget; such overcommits are counted and surfaced through Overcommits
+// and the metrics registry.
+func (m *MemBroker) Grant(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	if m.schedule != nil {
+		m.budget = m.schedule(m.step)
+		m.step++
+	}
 	avail := m.budget - m.inUse
 	g := want
 	if g > avail {

@@ -1,0 +1,37 @@
+// Package exec implements the Volcano-style iterator execution engine: one
+// operator per physical plan node, with per-operator actual-cardinality
+// accounting (the raw input of every robustness metric) and the adaptive
+// operators (symmetric hash join, generalized join) the Dagstuhl report's
+// query-execution sessions discuss.
+//
+// Three execution paths share one cost model and emit identical results:
+//
+//   - the row path: classic Open/Next/Close iterators (Operator);
+//   - the vectorized path: 256-row batches with selection vectors and
+//     compiled expressions (BatchOperator), chosen for plan nodes marked by
+//     plan.MarkVectorized when Context.Vec is set;
+//   - the morsel-driven parallel path: fixed page/row-range morsels over a
+//     worker pool with exchange operators that gather in morsel order,
+//     chosen for nodes marked by plan.MarkParallel when Context.DOP exceeds
+//     one.
+//
+// Every charge goes to the deterministic cost Clock (internal/storage), so
+// the three paths are property-tested to produce byte-identical rows and
+// identical cost totals.
+//
+// Workspace memory is arbitrated by the MemBroker: stateful operators (hash
+// join, hash aggregation, external sort) request grants counted in rows and
+// degrade gracefully when a grant comes back short — they partition their
+// build/state by key hash, keep a resident prefix of partitions, spill the
+// rest to storage.TempRun pages, and recursively process the spilled
+// partitions, falling back to external sort-merge when repartitioning stops
+// helping (see spill.go). A broker budget may also shrink mid-query through
+// SetSchedule (the memory-pressure fault injector) or an external caller
+// such as the workload manager reclaiming memory; operators re-read their
+// grants at phase boundaries, which is exactly the "grow & shrink memory"
+// robustness technique from the report's resource-management sessions.
+// SpillStats on the Context aggregates partitions spilled, temp-run
+// rows/pages written, recursion depth and merge fallbacks; with a tracer
+// attached, the same activity surfaces as spill.* events in EXPLAIN
+// ANALYZE.
+package exec

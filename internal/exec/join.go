@@ -104,8 +104,10 @@ func nullRow(n int) types.Row {
 // ---------- hash join ----------
 
 // hashJoin builds a hash table on the right input and probes with the left.
-// If the build side exceeds the broker's grant, grace partitioning is
-// simulated by charging one write+read pass over both inputs.
+// If the build side exceeds the broker's grant, it becomes a hybrid hash
+// join: the build partitions by key hash, overflow partitions spill to temp
+// runs together with their probe rows, and the spilled pairs are joined
+// recursively after the in-memory probe phase (spillJoin).
 type hashJoin struct {
 	ctx   *Context
 	node  *plan.JoinNode
@@ -113,6 +115,7 @@ type hashJoin struct {
 	right Operator
 
 	table       map[uint64][]types.Row
+	spill       *spillJoin
 	grant       int
 	lrow        types.Row
 	lrowMatched bool
@@ -120,6 +123,9 @@ type hashJoin struct {
 	midx        int
 	lDone       bool
 	rWidth      int
+	tail        []types.Row // deferred-partition output, emitted after the probe phase
+	tpos        int
+	finished    bool
 }
 
 func (j *hashJoin) Open() error {
@@ -133,24 +139,34 @@ func (j *hashJoin) Open() error {
 	j.rWidth = len(j.node.Kids[1].Schema())
 	j.grant = j.ctx.Mem.Grant(len(build))
 	if len(build) > j.grant {
-		// grace partitioning: one extra write+read pass over both inputs
-		spill := (len(build) + storage.PageRows - 1) / storage.PageRows
-		j.ctx.Clock.Write(spill)
-		j.ctx.Clock.SeqRead(spill)
-	}
-	j.table = make(map[uint64][]types.Row, len(build))
-	for _, r := range build {
-		j.ctx.Clock.Probes(2) // insert costs double a probe (see cost model)
-		k := keyOf(r, j.node.RightKeys)
-		if keyHasNull(k) {
-			continue
+		j.spill = newSpillJoin(j.ctx, j.node, build, j.grant, j.rWidth, 0)
+	} else {
+		j.table = make(map[uint64][]types.Row, len(build))
+		for _, r := range build {
+			j.ctx.Clock.Probes(2) // insert costs double a probe (see cost model)
+			k := keyOf(r, j.node.RightKeys)
+			if keyHasNull(k) {
+				continue
+			}
+			h := types.HashRow(k)
+			j.table[h] = append(j.table[h], r)
 		}
-		h := types.HashRow(k)
-		j.table[h] = append(j.table[h], r)
 	}
 	j.lDone = false
 	j.matches = nil
+	j.tail, j.tpos, j.finished = nil, 0, false
 	return nil
+}
+
+// bucket returns the hash-table candidates for a non-null probe key. Under
+// spill, rows of non-resident partitions are deferred to probe runs and
+// report ok=false — they produce their output (including left-outer null
+// extension) when the spilled partitions replay.
+func (j *hashJoin) bucket(lr types.Row, k []types.Value) ([]types.Row, bool) {
+	if j.spill != nil {
+		return j.spill.probe(lr, k)
+	}
+	return j.table[types.HashRow(k)], false
 }
 
 func (j *hashJoin) Next() (types.Row, bool, error) {
@@ -176,6 +192,21 @@ func (j *hashJoin) Next() (types.Row, bool, error) {
 			return out, true, nil
 		}
 		if j.lDone {
+			if j.spill != nil && !j.finished {
+				j.finished = true
+				err := j.spill.finish(func(r types.Row) error {
+					j.tail = append(j.tail, r)
+					return nil
+				})
+				if err != nil {
+					return nil, false, err
+				}
+			}
+			if j.tpos < len(j.tail) {
+				r := j.tail[j.tpos]
+				j.tpos++
+				return r, true, nil
+			}
 			return nil, false, nil
 		}
 		lr, ok, err := j.left.Next()
@@ -193,7 +224,12 @@ func (j *hashJoin) Next() (types.Row, bool, error) {
 		j.matches = nil
 		j.midx = 0
 		if !keyHasNull(k) {
-			for _, cand := range j.table[types.HashRow(k)] {
+			cands, deferred := j.bucket(j.lrow, k)
+			if deferred {
+				j.lrow = nil // resolved (matches and outer alike) in finish
+				continue
+			}
+			for _, cand := range cands {
 				if keysEqual(k, keyOf(cand, j.node.RightKeys)) {
 					j.matches = append(j.matches, cand)
 				}
@@ -204,6 +240,11 @@ func (j *hashJoin) Next() (types.Row, bool, error) {
 
 func (j *hashJoin) Close() error {
 	j.table = nil
+	j.tail = nil
+	if j.spill != nil {
+		j.spill.close()
+		j.spill = nil
+	}
 	j.ctx.Mem.Release(j.grant)
 	j.grant = 0
 	return j.left.Close()

@@ -179,6 +179,7 @@ type parallelHashJoin struct {
 
 	dop      int
 	parts    []map[uint64][]types.Row
+	spill    *spillJoin // set when the build exceeded its grant
 	grant    int
 	rWidth   int
 	emitted  int64
@@ -207,12 +208,86 @@ func (j *parallelHashJoin) openBuild() error {
 	j.rWidth = len(j.node.Kids[1].Schema())
 	j.grant = j.ctx.Mem.Grant(len(build))
 	if len(build) > j.grant {
-		// grace partitioning: one extra write+read pass over both inputs
-		spill := (len(build) + storage.PageRows - 1) / storage.PageRows
-		j.ctx.Clock.Write(spill)
-		j.ctx.Clock.SeqRead(spill)
+		// Graceful degradation trades parallelism for robustness: the build
+		// delegates to the serial spill machinery and the probe phase runs
+		// inline on the context clock (probeSerialSpill) — correct results
+		// and serial-identical charges under any budget, at DOP cost.
+		j.spill = newSpillJoin(j.ctx, j.node, build, j.grant, j.rWidth, 0)
+		return nil
 	}
 	return j.buildPartitions(build)
+}
+
+// probeSerialSpill is the memory-pressure probe phase: every probe row is
+// handled serially on the context clock through the spill machinery — rows
+// of resident partitions match immediately, the rest defer to probe runs —
+// and the spilled partitions then replay. Every joined (and, for
+// left-outer, null-extended) row goes to sink in serial-identical order
+// with serial-identical charges.
+func (j *parallelHashJoin) probeSerialSpill(sink func(types.Row) error) error {
+	probeRow := func(lr types.Row) error {
+		j.ctx.Clock.Probes(1)
+		k := keyOf(lr, j.node.LeftKeys)
+		matched := false
+		if !keyHasNull(k) {
+			bucket, deferred := j.spill.probe(lr, k)
+			if deferred {
+				return nil // resolved (matches and outer alike) in finish
+			}
+			for _, cand := range bucket {
+				if !keysEqual(k, keyOf(cand, j.node.RightKeys)) {
+					continue
+				}
+				out, ok, err := emitJoined(j.ctx.Clock, j.ctx.Params, j.node, lr, cand)
+				if err != nil {
+					return err
+				}
+				if ok {
+					matched = true
+					atomic.AddInt64(&j.emitted, 1)
+					if err := sink(out); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if j.node.Type == plan.LeftOuter && !matched {
+			j.ctx.Clock.RowWork(1)
+			atomic.AddInt64(&j.emitted, 1)
+			return sink(types.Concat(lr, nullRow(j.rWidth)))
+		}
+		return nil
+	}
+	if j.scan != nil {
+		npages := j.scan.Table.Heap.NumPages()
+		n := morselCount(npages, MorselPages)
+		scanned := 0
+		for m := 0; m < n; m++ {
+			err := scanMorsel(j.ctx, j.scan, j.scanPred, m, npages, j.ctx.Clock, func(lr types.Row) error {
+				scanned++
+				return probeRow(lr)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		finishNode(j.ctx, j.scan, float64(scanned))
+	} else {
+		lrows, err := drain(j.left)
+		j.left = nil
+		if err != nil {
+			return err
+		}
+		for _, lr := range lrows {
+			if err := probeRow(lr); err != nil {
+				return err
+			}
+		}
+	}
+	return j.spill.finish(func(r types.Row) error {
+		atomic.AddInt64(&j.emitted, 1)
+		return sink(r)
+	})
 }
 
 func (j *parallelHashJoin) Open() error {
@@ -339,6 +414,20 @@ func (j *parallelHashJoin) probeEach(lr types.Row, clk *storage.Clock, st *probe
 // probe runs the probe phase into the exchange (the standalone operator
 // path; a fused aggregation bypasses this entirely).
 func (j *parallelHashJoin) probe() error {
+	if j.spill != nil {
+		out := getMorselBuf()
+		err := j.probeSerialSpill(func(r types.Row) error {
+			out = append(out, r)
+			return nil
+		})
+		if err != nil {
+			putMorselBuf(out)
+			return err
+		}
+		j.x.reset(1)
+		j.x.set(0, out)
+		return nil
+	}
 	if j.scan != nil {
 		npages := j.scan.Table.Heap.NumPages()
 		n := morselCount(npages, MorselPages)
@@ -402,9 +491,14 @@ func (j *parallelHashJoin) Next() (types.Row, bool, error) {
 	return r, ok, nil
 }
 
-// release frees the hash shards and returns the memory grant.
+// release frees the hash shards (or spill state) and returns the memory
+// grant.
 func (j *parallelHashJoin) release() {
 	j.parts = nil
+	if j.spill != nil {
+		j.spill.close()
+		j.spill = nil
+	}
 	j.ctx.Mem.Release(j.grant)
 	j.grant = 0
 }
@@ -584,6 +678,22 @@ func (a *parallelAgg) partialsFromJoin() ([]*aggPartial, error) {
 	jn := a.join
 	if err := jn.openBuild(); err != nil {
 		return nil, err
+	}
+	if jn.spill != nil {
+		// Build spilled: the fused pipeline degrades to a serial
+		// probe-and-replay feeding one partial, keeping results and charges
+		// serial-identical under pressure.
+		p := newAggPartial()
+		key := make([]types.Value, len(a.node.GroupExprs))
+		err := jn.probeSerialSpill(func(r types.Row) error {
+			return a.accumRow(p, r, key, a.ctx.Clock)
+		})
+		if err != nil {
+			return nil, err
+		}
+		finishNode(a.ctx, jn.node, float64(atomic.LoadInt64(&jn.emitted)))
+		jn.release()
+		return []*aggPartial{p}, nil
 	}
 	accum := func(p *aggPartial, key []types.Value, clk *storage.Clock) func(types.Row) error {
 		return func(r types.Row) error {

@@ -9,10 +9,12 @@ import (
 )
 
 // sortOp is an external sort: the input is consumed into runs bounded by
-// the broker's current grant; runs beyond the first spill (charging write +
-// read I/O) and are merged. Because the grant is re-read per run, a budget
-// shrink mid-sort degrades the sort gracefully instead of failing — the
-// grow-and-shrink behaviour the resource-management sessions call for.
+// the broker's current grant; a run that fills its grant is sorted and
+// spilled to a storage.TempRun (its grant returning to the broker
+// immediately), and spilled runs are read back for the merge. Because the
+// grant is re-read per run, a budget shrink mid-sort degrades the sort
+// gracefully instead of failing — the grow-and-shrink behaviour the
+// resource-management sessions call for.
 type sortOp struct {
 	ctx   *Context
 	keys  []plan.OrderSpec
@@ -26,16 +28,17 @@ func (s *sortOp) Open() error {
 	if err := s.child.Open(); err != nil {
 		return err
 	}
-	var runs [][]types.Row
-	totalGrant := 0
-	defer func() { s.ctx.Mem.Release(totalGrant) }()
+	var spilled []*storage.TempRun
+	var last []types.Row // final, grant-resident run
+	lastGrant := 0
+	defer func() { s.ctx.Mem.Release(lastGrant) }()
 	for {
 		grant := s.ctx.Mem.Grant(1 << 20)
-		totalGrant += grant
 		run := make([]types.Row, 0, min(grant, 1024))
 		for len(run) < grant {
 			r, ok, err := s.child.Next()
 			if err != nil {
+				s.ctx.Mem.Release(grant)
 				return err
 			}
 			if !ok {
@@ -44,17 +47,33 @@ func (s *sortOp) Open() error {
 			run = append(run, r.Clone())
 		}
 		if len(run) == 0 {
+			s.ctx.Mem.Release(grant)
 			break
 		}
 		s.sortRun(run)
-		runs = append(runs, run)
 		if len(run) < grant {
+			last = run
+			lastGrant = grant
 			break
 		}
-		// This run filled its grant: it spills.
-		pages := (len(run) + storage.PageRows - 1) / storage.PageRows
-		s.ctx.Clock.Write(pages)
-		s.ctx.Clock.SeqRead(pages)
+		// This run filled its grant: it spills, and its grant goes back to
+		// the broker before the next run is read.
+		tr := storage.NewTempRun()
+		for _, r := range run {
+			tr.Append(s.ctx.Clock, r)
+		}
+		spilled = append(spilled, tr)
+		s.ctx.Mem.Release(grant)
+		s.ctx.Spill.record(1, tr.Len(), tr.Pages(), 0)
+		s.ctx.spillEvent("spill.sort", "run=%d rows=%d pages=%d grant=%d",
+			len(spilled), tr.Len(), tr.Pages(), grant)
+	}
+	runs := make([][]types.Row, 0, len(spilled)+1)
+	for _, tr := range spilled {
+		runs = append(runs, tr.Drain(s.ctx.Clock))
+	}
+	if last != nil {
+		runs = append(runs, last)
 	}
 	s.rows = s.mergeRuns(runs)
 	s.pos = 0

@@ -88,13 +88,14 @@ func Registry() map[string]Runner {
 		"E20": E20SharedScans,
 		"E21": E21AutomaticDisaster,
 		"E22": E22UtilityInterference,
+		"E23": E23MemSweep,
 	}
 }
 
 // IDs returns all experiment ids in order.
 func IDs() []string {
-	ids := make([]string, 0, 22)
-	for i := 1; i <= 22; i++ {
+	ids := make([]string, 0, 23)
+	for i := 1; i <= 23; i++ {
 		ids = append(ids, fmt.Sprintf("E%d", i))
 	}
 	return ids

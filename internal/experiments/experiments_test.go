@@ -25,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	if len(IDs()) != 22 {
-		t.Errorf("expected 22 experiments, got %d", len(IDs()))
+	if len(IDs()) != 23 {
+		t.Errorf("expected 23 experiments, got %d", len(IDs()))
 	}
 }
 
@@ -302,5 +302,34 @@ func TestReportString(t *testing.T) {
 	s := r.String()
 	if !strings.Contains(s, "EX") || !strings.Contains(s, "line 1") || !strings.Contains(s, "k = 2") {
 		t.Errorf("report render wrong:\n%s", s)
+	}
+}
+
+func TestE23MemSweepMonotoneAndExact(t *testing.T) {
+	r, points, err := MemSweep(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KV["all_exact"] != 1 {
+		t.Errorf("results diverged across budgets:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["monotone"] != 1 {
+		t.Errorf("cost must degrade monotonically with budget:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["dop4_exact"] != 1 {
+		t.Errorf("DOP-4 run under pressure must spill and stay exact:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if len(points) < 5 {
+		t.Fatalf("expected a budget ladder, got %d points", len(points))
+	}
+	tight, loose := points[0], points[len(points)-1]
+	if tight.Partitions == 0 || tight.SpillPages == 0 {
+		t.Errorf("tightest budget must spill: %+v", tight)
+	}
+	if loose.Partitions != 0 {
+		t.Errorf("unlimited budget must not spill: %+v", loose)
+	}
+	if tight.Units <= loose.Units {
+		t.Errorf("spilling must cost more: tight=%v loose=%v", tight.Units, loose.Units)
 	}
 }

@@ -1,11 +1,3 @@
-// Package obs is the engine's observability layer: per-query span traces
-// that mirror the operator tree (estimated vs. actual cardinality, q-error,
-// simulated cost consumed), engine-level events (POP re-optimizations, Rio
-// plan choices, plan-cache hits, memory grants, admission decisions), and a
-// lock-cheap metrics registry with a Prometheus-style text exposition. The
-// Dagstuhl report's position is that robustness must be measured, not
-// assumed — this package is where every robustness experiment reads its
-// per-operator estimated-vs-actual signal from.
 package obs
 
 import (

@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"testing"
+
+	"rqp/internal/types"
+)
+
+func row(i int) types.Row { return types.Row{types.Int(int64(i))} }
+
+// TestTempRunPageCharges: writes charge one page write per PageRows rows
+// (as each page starts), reads charge one sequential read per page.
+func TestTempRunPageCharges(t *testing.T) {
+	clk := NewClock(DefaultCostModel())
+	tr := NewTempRun()
+	n := 2*PageRows + 5 // 3 pages
+	for i := 0; i < n; i++ {
+		tr.Append(clk, row(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Pages() != 3 {
+		t.Fatalf("pages = %d, want 3", tr.Pages())
+	}
+	_, _, writes, _ := clk.Counters()
+	if writes != 3 {
+		t.Fatalf("page writes = %d, want 3", writes)
+	}
+	rows := tr.Drain(clk)
+	seq, _, _, _ := clk.Counters()
+	if seq != 3 {
+		t.Fatalf("seq reads = %d, want 3", seq)
+	}
+	if len(rows) != n {
+		t.Fatalf("drained %d rows, want %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if r[0].AsInt() != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, r)
+		}
+	}
+	if tr.Len() != 0 || tr.Pages() != 0 {
+		t.Fatal("drain must empty the run")
+	}
+}
+
+// TestTempRunDiscard: discarding a run charges nothing.
+func TestTempRunDiscard(t *testing.T) {
+	clk := NewClock(DefaultCostModel())
+	tr := NewTempRun()
+	for i := 0; i < PageRows+1; i++ {
+		tr.Append(clk, row(i))
+	}
+	before := clk.Units()
+	tr.Discard()
+	if clk.Units() != before {
+		t.Fatal("discard must not charge the clock")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("discard must empty the run")
+	}
+	// An empty drain charges nothing either.
+	tr.Drain(clk)
+	if clk.Units() != before {
+		t.Fatal("empty drain must not charge the clock")
+	}
+}

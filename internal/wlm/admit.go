@@ -5,18 +5,37 @@ import (
 	"sync"
 )
 
+// MemReclaimable is a per-query memory budget the workload manager can
+// shrink (or re-grow) while the query runs — exec.MemBroker satisfies it.
+// Defined here so wlm needs no dependency on the execution engine.
+type MemReclaimable interface {
+	SetBudget(rows int)
+}
+
 // Admitter is live admission control: a multiprogramming-limit gate the
 // engine consults before running a query. It is the on-line counterpart of
 // SimulateProcessorSharing's MPL gate — same policy, applied to real
 // concurrent sessions instead of simulated jobs. Decisions are reported to
 // the caller so the observability layer can trace and count them.
+//
+// With a memory pool configured (SetMemPool), the Admitter also arbitrates
+// workspace memory across the running mix: every attached query budget
+// (AttachMem) holds an equal share of the pool, and each arrival or
+// departure rebalances the shares — shrinking the budgets of queries
+// already running, whose operators then spill at their next grant
+// re-negotiation. That reclaim-from-running behaviour is the workload-
+// management half of graceful degradation: admission keeps the mix feasible
+// while the spill machinery keeps every member of the mix correct.
 type Admitter struct {
-	mu       sync.Mutex
-	mpl      int // 0 = unlimited
-	active   int
-	peak     int
-	admitted int64
-	rejected int64
+	mu          sync.Mutex
+	mpl         int // 0 = unlimited
+	active      int
+	peak        int
+	admitted    int64
+	rejected    int64
+	memPool     int // total workspace rows shared by running queries; 0 = none
+	attached    []MemReclaimable
+	memReclaims int64
 }
 
 // NewAdmitter returns a gate admitting at most mpl concurrent queries
@@ -98,4 +117,73 @@ func (a *Admitter) Stats() (admitted, rejected int64, active, peak int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.admitted, a.rejected, a.active, a.peak
+}
+
+// SetMemPool configures the total workspace memory (rows) shared by all
+// attached query budgets. Zero disables pooling: attached budgets are left
+// alone.
+func (a *Admitter) SetMemPool(rows int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.memPool = rows
+	a.rebalanceLocked()
+}
+
+// AttachMem registers a running query's memory budget with the pool and
+// rebalances: every attached budget — including those of queries already
+// running, which are reclaimed down — becomes an equal share of the pool.
+// Returns this query's share (or 0 when no pool is configured).
+func (a *Admitter) AttachMem(m MemReclaimable) int {
+	if m == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.attached = append(a.attached, m)
+	if a.memPool > 0 && len(a.attached) > 1 {
+		// Every query already running held a larger share before this
+		// arrival; resetting it is a reclaim.
+		a.memReclaims += int64(len(a.attached) - 1)
+	}
+	a.rebalanceLocked()
+	if a.memPool <= 0 {
+		return 0
+	}
+	return a.memPool / len(a.attached)
+}
+
+// DetachMem removes a query's budget from the pool and redistributes its
+// share to the remaining queries (their budgets grow back).
+func (a *Admitter) DetachMem(m MemReclaimable) {
+	if m == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, cand := range a.attached {
+		if cand == m {
+			a.attached = append(a.attached[:i], a.attached[i+1:]...)
+			break
+		}
+	}
+	a.rebalanceLocked()
+}
+
+// MemReclaims reports how many times a running query's budget was shrunk
+// because another query joined the pool.
+func (a *Admitter) MemReclaims() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.memReclaims
+}
+
+// rebalanceLocked resets every attached budget to an equal pool share.
+func (a *Admitter) rebalanceLocked() {
+	if a.memPool <= 0 || len(a.attached) == 0 {
+		return
+	}
+	share := a.memPool / len(a.attached)
+	for _, m := range a.attached {
+		m.SetBudget(share)
+	}
 }

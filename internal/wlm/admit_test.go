@@ -88,3 +88,56 @@ func TestGrantDOP(t *testing.T) {
 		t.Errorf("saturated gate granted %d, want 1", got)
 	}
 }
+
+// fakeBudget records the budgets the pool assigns it.
+type fakeBudget struct{ budget int }
+
+func (f *fakeBudget) SetBudget(rows int) { f.budget = rows }
+
+func TestMemPoolReclaimsFromRunning(t *testing.T) {
+	a := NewAdmitter(0)
+	a.SetMemPool(1200)
+	q1 := &fakeBudget{}
+	if share := a.AttachMem(q1); share != 1200 {
+		t.Fatalf("first attach share = %d, want 1200", share)
+	}
+	if q1.budget != 1200 {
+		t.Fatalf("q1 budget = %d, want 1200", q1.budget)
+	}
+	q2 := &fakeBudget{}
+	if share := a.AttachMem(q2); share != 600 {
+		t.Fatalf("second attach share = %d, want 600", share)
+	}
+	// q1 was reclaimed down while running.
+	if q1.budget != 600 || q2.budget != 600 {
+		t.Fatalf("budgets after second attach = %d/%d, want 600/600", q1.budget, q2.budget)
+	}
+	q3 := &fakeBudget{}
+	a.AttachMem(q3)
+	if q1.budget != 400 || q2.budget != 400 || q3.budget != 400 {
+		t.Fatalf("budgets after third attach = %d/%d/%d, want 400 each", q1.budget, q2.budget, q3.budget)
+	}
+	if r := a.MemReclaims(); r != 3 { // 1 on second attach + 2 on third
+		t.Fatalf("reclaims = %d, want 3", r)
+	}
+	// Departures grow the remaining budgets back.
+	a.DetachMem(q2)
+	if q1.budget != 600 || q3.budget != 600 {
+		t.Fatalf("budgets after detach = %d/%d, want 600/600", q1.budget, q3.budget)
+	}
+	if r := a.MemReclaims(); r != 3 {
+		t.Fatalf("detach must not count as reclaim, got %d", r)
+	}
+}
+
+func TestMemPoolDisabled(t *testing.T) {
+	a := NewAdmitter(0)
+	q := &fakeBudget{budget: 77}
+	if share := a.AttachMem(q); share != 0 {
+		t.Fatalf("share without pool = %d, want 0", share)
+	}
+	if q.budget != 77 {
+		t.Fatalf("budget touched without pool: %d", q.budget)
+	}
+	a.DetachMem(q)
+}

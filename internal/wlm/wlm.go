@@ -1,7 +1,3 @@
-// Package wlm implements workload management: admission control with a
-// multiprogramming limit and priorities, a deterministic processor-sharing
-// simulator for degree-of-parallelism interference (the FPT test), and
-// memory-budget fluctuation schedules (the FMT test).
 package wlm
 
 import (
