@@ -312,6 +312,104 @@ func BenchmarkVectorizedAgg(b *testing.B) {
 	benchVectorizedQuery(b, cat, `SELECT f.g, COUNT(*), SUM(f.v) FROM f GROUP BY f.g`)
 }
 
+// ---------- runtime join filters ----------
+
+// runtimeFilterCatalog builds a fact table with unique keys 0..factRows-1
+// and a dim holding dimRows of them, spread across the whole key domain so
+// the filter's min/max bounds cannot shortcut the Bloom test.
+func runtimeFilterCatalog(b *testing.B, factRows, dimRows int) *catalog.Catalog {
+	b.Helper()
+	cat := catalog.New()
+	f, _ := cat.CreateTable("f", types.Schema{
+		{Name: "k", Kind: types.KindInt},
+		{Name: "v", Kind: types.KindInt},
+	})
+	d, _ := cat.CreateTable("d", types.Schema{
+		{Name: "k", Kind: types.KindInt},
+		{Name: "w", Kind: types.KindInt},
+	})
+	for i := 0; i < factRows; i++ {
+		cat.Insert(nil, f, types.Row{types.Int(int64(i)), types.Int(int64(i % 97))})
+	}
+	for i := 0; i < dimRows; i++ {
+		cat.Insert(nil, d, types.Row{types.Int(int64(i * factRows / dimRows)), types.Int(int64(i % 11))})
+	}
+	cat.AnalyzeTable(f, 16)
+	cat.AnalyzeTable(d, 16)
+	return cat
+}
+
+// runtimeFilterPlan hand-builds fact-probe-side hash join so the benchmark
+// measures exactly the shape plan.PlanRuntimeFilters targets, independent
+// of join-order choices.
+func runtimeFilterPlan(cat *catalog.Catalog, dimRows int) plan.Node {
+	fact, _ := cat.Table("f")
+	dim, _ := cat.Table("d")
+	mkScan := func(t *catalog.Table, alias string) *plan.ScanNode {
+		s := &plan.ScanNode{Table: t, Alias: alias}
+		s.Out = t.Schema.WithTable(alias)
+		s.Title = "SeqScan(" + alias + ")"
+		s.Prop = plan.Props{EstRows: float64(t.Heap.NumRows()), ActualRows: -1}
+		return s
+	}
+	l, r := mkScan(fact, "f"), mkScan(dim, "d")
+	j := &plan.JoinNode{Alg: plan.JoinHash, Type: plan.Inner, LeftKeys: []int{0}, RightKeys: []int{0}}
+	j.Kids = []plan.Node{l, r}
+	j.Out = l.Out.Concat(r.Out)
+	j.Title = "HashJoin"
+	j.Prop = plan.Props{EstRows: float64(dimRows), ActualRows: -1}
+	return j
+}
+
+// benchRuntimeFilterJoin measures the join with and without runtime
+// filters, reporting simulated cost for each.
+func benchRuntimeFilterJoin(b *testing.B, factRows, dimRows int) {
+	cat := runtimeFilterCatalog(b, factRows, dimRows)
+	b.Run("unfiltered", func(b *testing.B) {
+		root := runtimeFilterPlan(cat, dimRows)
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			ctx := exec.NewContext()
+			if _, err := exec.Run(root, ctx); err != nil {
+				b.Fatal(err)
+			}
+			cost = ctx.Clock.Units()
+		}
+		b.ReportMetric(cost, "cost_units")
+	})
+	b.Run("filtered", func(b *testing.B) {
+		root := runtimeFilterPlan(cat, dimRows)
+		if sites, _ := opt.New(cat).CreditRuntimeFilters(root); sites == 0 {
+			b.Fatal("no runtime-filter sites planted")
+		}
+		var cost, dropped float64
+		for i := 0; i < b.N; i++ {
+			ctx := exec.NewContext()
+			ctx.RF = exec.NewRuntimeFilterSet(nil)
+			if _, err := exec.Run(root, ctx); err != nil {
+				b.Fatal(err)
+			}
+			cost = ctx.Clock.Units()
+			_, _, d, _ := ctx.RF.Snapshot()
+			dropped = float64(d)
+		}
+		b.ReportMetric(cost, "cost_units")
+		b.ReportMetric(dropped, "rows_dropped")
+	})
+}
+
+// BenchmarkRuntimeFilterSelective: under 1% of probe rows survive — the
+// filter should cut simulated cost by at least 2x.
+func BenchmarkRuntimeFilterSelective(b *testing.B) {
+	benchRuntimeFilterJoin(b, 120000, 1000)
+}
+
+// BenchmarkRuntimeFilterNonSelective: every probe row survives — adaptive
+// disable must keep the overhead within 10% of the unfiltered run.
+func BenchmarkRuntimeFilterNonSelective(b *testing.B) {
+	benchRuntimeFilterJoin(b, 120000, 120000)
+}
+
 func BenchmarkInsertWithIndex(b *testing.B) {
 	cat := catalog.New()
 	t, _ := cat.CreateTable("t", types.Schema{{Name: "id", Kind: types.KindInt}, {Name: "v", Kind: types.KindInt}})

@@ -10,6 +10,8 @@
 //	rqpbench -json           # machine-readable results on stdout
 //	rqpbench -mem-sweep      # memory-degradation robustness map
 //	rqpbench -json -mem-sweep -o BENCH_spill.json
+//	rqpbench -filter-sweep   # runtime-filter selectivity sweep
+//	rqpbench -json -filter-sweep -o BENCH_filter.json
 package main
 
 import (
@@ -58,11 +60,26 @@ type memSweepJSON struct {
 	ResultExact     bool    `json:"result_exact"`
 }
 
+// filterSweepJSON is one rung of the runtime-filter robustness map: the
+// fact x dim hash join run with and without filters at one selectivity.
+type filterSweepJSON struct {
+	Selectivity     float64 `json:"selectivity"`
+	UnfilteredUnits float64 `json:"unfiltered_units"`
+	FilteredUnits   float64 `json:"filtered_units"`
+	Ratio           float64 `json:"ratio"`
+	FiltersBuilt    int     `json:"filters_built"`
+	RowsTested      int     `json:"rows_tested"`
+	RowsDropped     int     `json:"rows_dropped"`
+	FiltersDisabled int     `json:"filters_disabled"`
+	ResultExact     bool    `json:"result_exact"`
+}
+
 type benchJSON struct {
-	Scale       float64          `json:"scale"`
-	Experiments []experimentJSON `json:"experiments"`
-	Queries     []queryJSON      `json:"queries"`
-	MemSweep    []memSweepJSON   `json:"mem_sweep,omitempty"`
+	Scale       float64           `json:"scale"`
+	Experiments []experimentJSON  `json:"experiments"`
+	Queries     []queryJSON       `json:"queries"`
+	MemSweep    []memSweepJSON    `json:"mem_sweep,omitempty"`
+	FilterSweep []filterSweepJSON `json:"filter_sweep,omitempty"`
 }
 
 // probeQueries runs a small correlation-trap star workload under each
@@ -116,6 +133,8 @@ func main() {
 		vec      = flag.Bool("vec", false, "vectorized batch execution for traced probes")
 		memSweep = flag.Bool("mem-sweep", false,
 			"run the memory-degradation sweep: per-budget cost curves with spill statistics")
+		filterSweep = flag.Bool("filter-sweep", false,
+			"run the runtime-filter sweep: filtered vs unfiltered join cost across selectivities")
 	)
 	flag.Parse()
 
@@ -129,8 +148,8 @@ func main() {
 	ids := experiments.IDs()
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")
-	} else if *memSweep {
-		// -mem-sweep alone runs just the sweep; combine with -e to add
+	} else if *memSweep || *filterSweep {
+		// A sweep flag alone runs just that sweep; combine with -e to add
 		// experiments.
 		ids = nil
 	}
@@ -184,8 +203,30 @@ func main() {
 			fmt.Printf("(mem-sweep wall time: %v)\n\n", wall.Round(time.Millisecond))
 		}
 	}
+	if *filterSweep {
+		start := time.Now()
+		rep, points, err := experiments.FilterSweep(*scale)
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "filter-sweep failed: %v\n", err)
+			failed++
+		} else if *asJSON {
+			for _, p := range points {
+				result.FilterSweep = append(result.FilterSweep, filterSweepJSON{
+					Selectivity: p.Sel, UnfilteredUnits: p.Unfiltered,
+					FilteredUnits: p.Filtered, Ratio: p.Ratio,
+					FiltersBuilt: p.Built, RowsTested: p.Tested,
+					RowsDropped: p.Dropped, FiltersDisabled: p.Disabled,
+					ResultExact: p.Match,
+				})
+			}
+		} else {
+			fmt.Println(rep)
+			fmt.Printf("(filter-sweep wall time: %v)\n\n", wall.Round(time.Millisecond))
+		}
+	}
 	if *asJSON {
-		if !*noProbes && (!*memSweep || *exps != "") {
+		if !*noProbes && (!*memSweep && !*filterSweep || *exps != "") {
 			qs, err := probeQueries(*scale, *dop, *vec)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "query probes failed: %v\n", err)

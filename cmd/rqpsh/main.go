@@ -37,6 +37,7 @@ func main() {
 		mpl       = flag.Int("mpl", 0, "admission control multiprogramming limit (0 = unlimited)")
 		dop       = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
 		vec       = flag.Bool("vec", false, "enable vectorized batch execution with compiled expressions")
+		rf        = flag.Bool("rf", false, "enable runtime join filters (Bloom + bounds pushed into probe-side scans)")
 		mem       = flag.Int("mem", 0, "workspace memory budget in rows (0 = default); operators over budget spill")
 		memShrink = flag.Int("mem-shrink", 0,
 			"inject memory pressure: budget declines from -mem to this floor across grants mid-query")
@@ -77,6 +78,7 @@ func main() {
 	}
 	cfg.DOP = *dop
 	cfg.Vec = *vec
+	cfg.RuntimeFilters = *rf
 	if *mem > 0 {
 		cfg.MemBudgetRows = *mem
 	}

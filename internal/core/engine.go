@@ -92,6 +92,13 @@ type Config struct {
 	// morsel operators. Results, row order and simulated cost are
 	// identical to the row-at-a-time path.
 	Vec bool
+	// RuntimeFilters enables runtime join filters: inner hash joins derive
+	// Bloom + min/max filters from their build side and push them sideways
+	// into probe-side scans, which drop never-joining rows before full
+	// per-row cost. Filters adaptively disable themselves when observed
+	// selectivity is too low to pay for the membership tests, so the worst
+	// case stays near the unfiltered plan. Results are identical either way.
+	RuntimeFilters bool
 }
 
 // DefaultConfig is the classic configuration.
@@ -449,6 +456,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		e.Metrics.Counter("rqp_rio_choices_total", obs.L("robust", fmt.Sprintf("%v", choice.Robust))).Inc()
 		e.maybeMarkParallel(root, ctx)
 		e.maybeMarkVectorized(root, ctx)
+		e.maybeRuntimeFilters(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
@@ -493,6 +501,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		}
 		e.maybeMarkParallel(root, ctx)
 		e.maybeMarkVectorized(root, ctx)
+		e.maybeRuntimeFilters(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
@@ -544,6 +553,26 @@ func (e *Engine) maybeMarkVectorized(root plan.Node, ctx *exec.Context) {
 	}
 }
 
+// maybeRuntimeFilters plants runtime join filter sites on the plan, credits
+// the cost model for the expected probe-side savings, and arms the context
+// with a fresh filter set. Plan-cache hits pass through here every query —
+// both the planting pass and the credit are idempotent. POP/progressive
+// plans never pass through here, mirroring maybeMarkParallel.
+func (e *Engine) maybeRuntimeFilters(root plan.Node, ctx *exec.Context) {
+	if !e.Cfg.RuntimeFilters {
+		return
+	}
+	sites, credit := e.Opt.CreditRuntimeFilters(root)
+	if sites == 0 {
+		return
+	}
+	ctx.RF = exec.NewRuntimeFilterSet(ctx.Trace)
+	if ctx.Trace != nil {
+		ctx.Trace.Event("rf.plan", fmt.Sprintf("sites=%d credit=%.2f", sites, credit))
+	}
+	e.Metrics.Counter("rqp_filter_queries_total").Inc()
+}
+
 // nodeQErrors collects per-operator q-errors from an executed plan.
 func nodeQErrors(root plan.Node) []float64 {
 	var out []float64
@@ -579,6 +608,19 @@ func (e *Engine) recordQueryMetrics(res *Result, ctx *exec.Context, qerrs []floa
 		m.Gauge("rqp_spill_recursion_depth").Set(float64(maxDepth))
 		if fallbacks > 0 {
 			m.Counter("rqp_spill_merge_fallbacks_total").Add(int64(fallbacks))
+		}
+	}
+	if ctx.RF != nil {
+		if built, tested, dropped, disabled := ctx.RF.Snapshot(); built > 0 {
+			m.Counter("rqp_filter_built_total").Add(built)
+			m.Counter("rqp_filter_tested_total").Add(tested)
+			m.Counter("rqp_filter_dropped_total").Add(dropped)
+			if disabled > 0 {
+				m.Counter("rqp_filter_disabled_total").Add(disabled)
+			}
+			if res.Trace != nil {
+				res.Trace.Event("rf.summary", fmt.Sprintf("built=%d tested=%d dropped=%d disabled=%d", built, tested, dropped, disabled))
+			}
 		}
 	}
 }

@@ -277,6 +277,7 @@ type batchSeqScan struct {
 	ctx    *Context
 	node   *plan.ScanNode
 	pred   *expr.Pred
+	rf     *rfConsumer
 	npages int
 	page   int
 }
@@ -287,6 +288,7 @@ func (s *batchSeqScan) Open() error {
 	if s.node.Filter != nil {
 		s.pred = expr.CompilePredicate(s.node.Filter)
 	}
+	s.rf = bindRuntimeFilters(s.ctx, s.node.RFConsume)
 	return nil
 }
 
@@ -303,8 +305,14 @@ func (s *batchSeqScan) NextBatch(b *Batch) (int, error) {
 		if len(b.Rows) == 0 {
 			return 0, nil
 		}
-		s.ctx.Clock.RowWorkBatch(len(b.Rows))
 		b.Sel = identitySel(b.Sel, len(b.Rows))
+		if s.rf != nil {
+			// Runtime filters shrink the selection vector in place before
+			// the per-row charge, in the same row order as seqScan, so
+			// charges and adaptive-disable decisions stay row/vec identical.
+			b.Sel = s.rf.admitBatch(s.ctx.Clock, b.Rows, b.Sel)
+		}
+		s.ctx.Clock.RowWorkBatch(len(b.Sel))
 		if s.pred != nil {
 			var err error
 			b.Sel, err = s.pred.EvalBatch(b.Rows, b.Sel, s.ctx.Params)
@@ -437,13 +445,14 @@ type batchHashJoin struct {
 }
 
 func (j *batchHashJoin) Open() error {
-	if err := j.left.Open(); err != nil {
-		return err
-	}
+	// Build drains before the probe side opens so runtime filters derived
+	// from the completed build are published when probe-side scans bind
+	// (mirrors hashJoin.Open).
 	build, err := drain(j.right)
 	if err != nil {
 		return err
 	}
+	buildRuntimeFilters(j.ctx, j.node, j.ctx.Clock, build)
 	j.rWidth = len(j.node.Kids[1].Schema())
 	j.grant = j.ctx.Mem.Grant(len(build))
 	if len(build) > j.grant {
@@ -467,7 +476,7 @@ func (j *batchHashJoin) Open() error {
 		j.residual = expr.CompilePredicate(j.node.Residual)
 	}
 	j.tail, j.tpos, j.lDone = nil, 0, false
-	return nil
+	return j.left.Open()
 }
 
 // tailBatch streams the deferred-partition output in BatchRows chunks. Its

@@ -36,6 +36,11 @@ type Context struct {
 	// temp-run rows/pages written, recursion depth, merge fallbacks) across
 	// the query's operators. Nil-safe: a nil Spill records nothing.
 	Spill *SpillStats
+	// RF, when non-nil, enables runtime join filters: hash joins publish
+	// Bloom + min/max filters into it after draining their build side, and
+	// scans annotated by plan.PlanRuntimeFilters bind and test them. Nil
+	// (the default) disables the feature entirely.
+	RF *RuntimeFilterSet
 }
 
 // NewContext returns a context over a fresh clock and an effectively

@@ -78,18 +78,31 @@ func keyHasNull(k []types.Value) bool {
 	return false
 }
 
+// joinResidual is the one shared accept/charge step for post-join residual
+// predicates: evaluate the residual (if any) over the assembled output row
+// and charge the per-row work only for survivors. Every join variant —
+// equi-joins through emitJoined and the index nested-loop join directly —
+// funnels through it so the charge discipline cannot drift between copies.
+func joinResidual(clk *storage.Clock, params []types.Value, residual expr.Expr, out types.Row) (bool, error) {
+	if residual != nil {
+		ok, err := expr.EvalPredicate(residual, out, params)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	clk.RowWork(1)
+	return true, nil
+}
+
 // emitJoined evaluates the residual and assembles the output row. It takes
 // the clock explicitly (rather than a Context) so parallel workers can
 // charge their shard clocks.
 func emitJoined(clk *storage.Clock, params []types.Value, node *plan.JoinNode, l, r types.Row) (types.Row, bool, error) {
 	out := types.Concat(l, r)
-	if node.Residual != nil {
-		ok, err := expr.EvalPredicate(node.Residual, out, params)
-		if err != nil || !ok {
-			return nil, false, err
-		}
+	ok, err := joinResidual(clk, params, node.Residual, out)
+	if err != nil || !ok {
+		return nil, false, err
 	}
-	clk.RowWork(1)
 	return out, true, nil
 }
 
@@ -129,13 +142,14 @@ type hashJoin struct {
 }
 
 func (j *hashJoin) Open() error {
-	if err := j.left.Open(); err != nil {
-		return err
-	}
+	// The build side drains before the probe side opens so that runtime
+	// filters derived from the completed build are already published when
+	// probe-side scans bind (indexScan materializes during Open).
 	build, err := drain(j.right)
 	if err != nil {
 		return err
 	}
+	buildRuntimeFilters(j.ctx, j.node, j.ctx.Clock, build)
 	j.rWidth = len(j.node.Kids[1].Schema())
 	j.grant = j.ctx.Mem.Grant(len(build))
 	if len(build) > j.grant {
@@ -155,7 +169,7 @@ func (j *hashJoin) Open() error {
 	j.lDone = false
 	j.matches = nil
 	j.tail, j.tpos, j.finished = nil, 0, false
-	return nil
+	return j.left.Open()
 }
 
 // bucket returns the hash-table candidates for a non-null probe key. Under
@@ -725,16 +739,13 @@ func (j *indexNLJoin) Next() (types.Row, bool, error) {
 			r := j.matches[j.midx]
 			j.midx++
 			out := types.Concat(j.lrow, r)
-			if j.node.Residual != nil {
-				ok, err := expr.EvalPredicate(j.node.Residual, out, j.ctx.Params)
-				if err != nil {
-					return nil, false, err
-				}
-				if !ok {
-					continue
-				}
+			ok, err := joinResidual(j.ctx.Clock, j.ctx.Params, j.node.Residual, out)
+			if err != nil {
+				return nil, false, err
 			}
-			j.ctx.Clock.RowWork(1)
+			if !ok {
+				continue
+			}
 			j.matched = true
 			return out, true, nil
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,13 +61,18 @@ func compilePred(ctx *Context, e expr.Expr) *expr.Pred {
 // scanMorsel reads one page-range morsel of a table, charging clk exactly
 // as the serial scan would (one sequential read per page, CPU per examined
 // row), and hands rows passing the filter to emit. pred, when non-nil, is
-// the compiled form of node.Filter. The emitted row is the heap's — valid
-// only until the query ends and never to be mutated.
-func scanMorsel(ctx *Context, node *plan.ScanNode, pred *expr.Pred, m, npages int, clk *storage.Clock, emit func(types.Row) error) error {
+// the compiled form of node.Filter; rf, when non-nil, is the scan's bound
+// runtime-filter consumer (rejects pay only the membership test, on the
+// worker's shard clock). The emitted row is the heap's — valid only until
+// the query ends and never to be mutated.
+func scanMorsel(ctx *Context, node *plan.ScanNode, pred *expr.Pred, rf *rfConsumer, m, npages int, clk *storage.Clock, emit func(types.Row) error) error {
 	lo, hi := morselRange(m, MorselPages, npages)
 	var emitErr error
 	for p := lo; p < hi; p++ {
 		node.Table.Heap.ScanPage(clk, p, func(_ storage.RID, r types.Row) bool {
+			if rf != nil && !rf.admit(clk, r) {
+				return true
+			}
 			clk.RowWork(1)
 			if pred != nil {
 				ok, err := pred.Eval(r, ctx.Params)
@@ -118,9 +124,10 @@ func (s *parallelScan) Open() error {
 	n := morselCount(npages, MorselPages)
 	s.x.reset(n)
 	pred := compilePred(s.ctx, s.node.Filter)
+	rf := bindRuntimeFilters(s.ctx, s.node.RFConsume)
 	return runMorsels(s.ctx, s.node.Label(), n, s.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
 		rows := getMorselBuf()
-		err := scanMorsel(s.ctx, s.node, pred, m, npages, clk, func(r types.Row) error {
+		err := scanMorsel(s.ctx, s.node, pred, rf, m, npages, clk, func(r types.Row) error {
 			rows = append(rows, r)
 			return nil
 		})
@@ -184,9 +191,10 @@ type parallelHashJoin struct {
 	rWidth   int
 	emitted  int64
 	x        exchange
-	scanPred *expr.Pred // compiled fused-scan filter (vectorized runs)
-	residual *expr.Pred // compiled residual (vectorized runs)
-	scratch  sync.Pool  // *probeScratch, reused across morsels
+	scanPred *expr.Pred  // compiled fused-scan filter (vectorized runs)
+	scanRF   *rfConsumer // fused scan's runtime filters, bound after the build
+	residual *expr.Pred  // compiled residual (vectorized runs)
+	scratch  sync.Pool   // *probeScratch, reused across morsels
 }
 
 // openBuild drains the build side and erects the partitioned hash table.
@@ -212,10 +220,27 @@ func (j *parallelHashJoin) openBuild() error {
 		// delegates to the serial spill machinery and the probe phase runs
 		// inline on the context clock (probeSerialSpill) — correct results
 		// and serial-identical charges under any budget, at DOP cost.
+		// Runtime filters derive serially from the drained build first, so
+		// the probe-side scans still shrink the spilled probe volume.
+		buildRuntimeFilters(j.ctx, j.node, j.ctx.Clock, build)
 		j.spill = newSpillJoin(j.ctx, j.node, build, j.grant, j.rWidth, 0)
+		j.bindScanRF()
 		return nil
 	}
-	return j.buildPartitions(build)
+	if err := j.buildPartitions(build); err != nil {
+		return err
+	}
+	j.bindScanRF()
+	return nil
+}
+
+// bindScanRF binds the fused probe scan's runtime filters once the build has
+// published its own — including the filter this very join produced, which is
+// the common consumer.
+func (j *parallelHashJoin) bindScanRF() {
+	if j.scan != nil {
+		j.scanRF = bindRuntimeFilters(j.ctx, j.scan.RFConsume)
+	}
 }
 
 // probeSerialSpill is the memory-pressure probe phase: every probe row is
@@ -263,7 +288,7 @@ func (j *parallelHashJoin) probeSerialSpill(sink func(types.Row) error) error {
 		n := morselCount(npages, MorselPages)
 		scanned := 0
 		for m := 0; m < n; m++ {
-			err := scanMorsel(j.ctx, j.scan, j.scanPred, m, npages, j.ctx.Clock, func(lr types.Row) error {
+			err := scanMorsel(j.ctx, j.scan, j.scanPred, j.scanRF, m, npages, j.ctx.Clock, func(lr types.Row) error {
 				scanned++
 				return probeRow(lr)
 			})
@@ -299,29 +324,67 @@ func (j *parallelHashJoin) Open() error {
 
 // buildPartitions runs the two build phases: (1) parallel morsels hash
 // every build row into per-morsel vectors, charging the serial join's
-// insert cost; (2) each worker assembles its own hash-range shard by
-// sweeping the vectors in morsel order, so bucket chains preserve build
-// order and probing stays deterministic.
+// insert cost — and, when the plan announced runtime filters, fill one
+// partial Bloom per filter per morsel; (2) each worker assembles its own
+// hash-range shard by sweeping the vectors in morsel order, so bucket
+// chains preserve build order and probing stays deterministic. Partial
+// Blooms are OR-merged in morsel order at the same gather barrier and
+// published before any probe morsel can run.
 func (j *parallelHashJoin) buildPartitions(build []types.Row) error {
 	n := morselCount(len(build), MorselRows)
 	pairs := make([][]hashedRow, n)
+	nf := 0
+	if j.ctx.RF != nil {
+		nf = len(j.node.RFilters)
+	}
+	var rfParts [][]*RuntimeFilter
+	if nf > 0 {
+		rfParts = make([][]*RuntimeFilter, n)
+	}
 	err := runMorsels(j.ctx, j.node.Label()+" build", n, j.dop, func(m int, clk *storage.Clock) (int, error) {
 		lo, hi := morselRange(m, MorselRows, len(build))
 		ps := make([]hashedRow, 0, hi-lo)
 		key := make([]types.Value, len(j.node.RightKeys))
+		var fs []*RuntimeFilter
+		if nf > 0 {
+			// Partials are sized for the full build so the barrier merge is
+			// a plain word-wise OR; the batch charge equals the serial
+			// build's per-row charges over this morsel's rows.
+			fs = make([]*RuntimeFilter, nf)
+			for i, sp := range j.node.RFilters {
+				fs[i] = newRuntimeFilter(sp.ID, len(build))
+			}
+			clk.FilterTestsBatch((hi - lo) * nf)
+		}
 		for _, r := range build[lo:hi] {
 			clk.Probes(2) // insert costs double a probe (see cost model)
+			for i, sp := range j.node.RFilters[:nf] {
+				fs[i].add(r[j.node.RightKeys[sp.Col]])
+			}
 			keyInto(key, r, j.node.RightKeys)
 			if keyHasNull(key) {
 				continue
 			}
 			ps = append(ps, hashedRow{types.HashRow(key), r})
 		}
+		if nf > 0 {
+			rfParts[m] = fs
+		}
 		pairs[m] = ps
 		return len(ps), nil
 	})
 	if err != nil {
 		return err
+	}
+	for i, sp := range j.node.RFilters[:nf] {
+		f := newRuntimeFilter(sp.ID, len(build))
+		for _, fs := range rfParts {
+			f.merge(fs[i])
+		}
+		j.ctx.RF.publish(f)
+		if j.ctx.Trace != nil {
+			j.ctx.Trace.Event("rf.build", fmt.Sprintf("filter=%d keys=%d bits=%d partials=%d", f.ID, len(build), len(f.words)*64, n))
+		}
 	}
 	j.parts = make([]map[uint64][]types.Row, j.dop)
 	dop := uint64(j.dop)
@@ -438,7 +501,7 @@ func (j *parallelHashJoin) probe() error {
 			defer j.putScratch(st)
 			out := getMorselBuf()
 			rows := 0
-			err := scanMorsel(j.ctx, j.scan, j.scanPred, m, npages, clk, func(lr types.Row) error {
+			err := scanMorsel(j.ctx, j.scan, j.scanPred, j.scanRF, m, npages, clk, func(lr types.Row) error {
 				rows++
 				return j.probeEach(lr, clk, st, func(r types.Row) error {
 					out = append(out, r.Clone())
@@ -648,12 +711,13 @@ func (a *parallelAgg) partialsFromScan() ([]*aggPartial, error) {
 	n := morselCount(npages, MorselPages)
 	partials := make([]*aggPartial, n)
 	pred := compilePred(a.ctx, a.scan.Filter)
+	rf := bindRuntimeFilters(a.ctx, a.scan.RFConsume)
 	var scanned int64
 	err := runMorsels(a.ctx, a.node.Label(), n, a.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
 		p := newAggPartial()
 		key := make([]types.Value, len(a.node.GroupExprs))
 		rows := 0
-		err := scanMorsel(a.ctx, a.scan, pred, m, npages, clk, func(r types.Row) error {
+		err := scanMorsel(a.ctx, a.scan, pred, rf, m, npages, clk, func(r types.Row) error {
 			rows++
 			return a.accumRow(p, r, key, clk)
 		})
@@ -714,7 +778,7 @@ func (a *parallelAgg) partialsFromJoin() ([]*aggPartial, error) {
 			key := make([]types.Value, len(a.node.GroupExprs))
 			sink := accum(p, key, clk)
 			rows := 0
-			err := scanMorsel(a.ctx, jn.scan, jn.scanPred, m, npages, clk, func(lr types.Row) error {
+			err := scanMorsel(a.ctx, jn.scan, jn.scanPred, jn.scanRF, m, npages, clk, func(lr types.Row) error {
 				rows++
 				return jn.probeEach(lr, clk, st, sink)
 			})

@@ -24,6 +24,7 @@ var pageBufPool = sync.Pool{
 type seqScan struct {
 	ctx    *Context
 	node   *plan.ScanNode
+	rf     *rfConsumer
 	npages int
 	page   int
 	buf    []types.Row
@@ -38,6 +39,7 @@ func (s *seqScan) Open() error {
 	}
 	s.buf = s.buf[:0]
 	s.pos = 0
+	s.rf = bindRuntimeFilters(s.ctx, s.node.RFConsume)
 	return nil
 }
 
@@ -55,6 +57,11 @@ func (s *seqScan) Next() (types.Row, bool, error) {
 		s.pos = 0
 		var evalErr error
 		s.node.Table.Heap.ScanPage(s.ctx.Clock, s.page, func(_ storage.RID, r types.Row) bool {
+			// Runtime-filter rejects pay only the membership test, never
+			// the full per-row charge.
+			if s.rf != nil && !s.rf.admit(s.ctx.Clock, r) {
+				return true
+			}
 			s.ctx.Clock.RowWork(1)
 			if s.node.Filter != nil {
 				ok, err := expr.EvalPredicate(s.node.Filter, r, s.ctx.Params)
@@ -91,6 +98,7 @@ func (s *seqScan) Close() error {
 type tempScan struct {
 	ctx  *Context
 	node *plan.TempScanNode
+	rf   *rfConsumer
 	pos  int
 }
 
@@ -98,6 +106,7 @@ func (s *tempScan) Open() error {
 	s.pos = 0
 	pages := (len(s.node.Rows) + storage.PageRows - 1) / storage.PageRows
 	s.ctx.Clock.SeqRead(pages)
+	s.rf = bindRuntimeFilters(s.ctx, s.node.RFConsume)
 	return nil
 }
 
@@ -105,6 +114,9 @@ func (s *tempScan) Next() (types.Row, bool, error) {
 	for s.pos < len(s.node.Rows) {
 		r := s.node.Rows[s.pos]
 		s.pos++
+		if s.rf != nil && !s.rf.admit(s.ctx.Clock, r) {
+			continue
+		}
 		s.ctx.Clock.RowWork(1)
 		if s.node.Filter != nil {
 			ok, err := expr.EvalPredicate(s.node.Filter, r, s.ctx.Params)
@@ -127,6 +139,7 @@ func (s *tempScan) Close() error { return nil }
 type indexScan struct {
 	ctx  *Context
 	node *plan.IndexScanNode
+	rf   *rfConsumer
 	rows []types.Row
 	pos  int
 }
@@ -134,6 +147,7 @@ type indexScan struct {
 func (s *indexScan) Open() error {
 	s.rows = s.rows[:0]
 	s.pos = 0
+	s.rf = bindRuntimeFilters(s.ctx, s.node.RFConsume)
 	n := s.node
 	lo := index.Bound{Key: n.LoKey, Incl: n.LoIncl, Set: n.LoSet}
 	hi := index.Bound{Key: n.HiKey, Incl: n.HiIncl, Set: n.HiSet}
@@ -146,6 +160,9 @@ func (s *indexScan) Open() error {
 		}
 		r, ok := n.Table.Heap.Get(s.ctx.Clock, e.RID)
 		if !ok {
+			return true
+		}
+		if s.rf != nil && !s.rf.admit(s.ctx.Clock, r) {
 			return true
 		}
 		s.ctx.Clock.RowWork(1)

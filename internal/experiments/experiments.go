@@ -89,13 +89,14 @@ func Registry() map[string]Runner {
 		"E21": E21AutomaticDisaster,
 		"E22": E22UtilityInterference,
 		"E23": E23MemSweep,
+		"E24": E24FilterSweep,
 	}
 }
 
 // IDs returns all experiment ids in order.
 func IDs() []string {
-	ids := make([]string, 0, 23)
-	for i := 1; i <= 23; i++ {
+	ids := make([]string, 0, 24)
+	for i := 1; i <= 24; i++ {
 		ids = append(ids, fmt.Sprintf("E%d", i))
 	}
 	return ids

@@ -25,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	if len(IDs()) != 23 {
-		t.Errorf("expected 23 experiments, got %d", len(IDs()))
+	if len(IDs()) != 24 {
+		t.Errorf("expected 24 experiments, got %d", len(IDs()))
 	}
 }
 
@@ -302,6 +302,34 @@ func TestReportString(t *testing.T) {
 	s := r.String()
 	if !strings.Contains(s, "EX") || !strings.Contains(s, "line 1") || !strings.Contains(s, "k = 2") {
 		t.Errorf("report render wrong:\n%s", s)
+	}
+}
+
+func TestE24FilterSweepWinsAndBoundsOverhead(t *testing.T) {
+	r, points, err := FilterSweep(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KV["all_exact"] != 1 {
+		t.Errorf("runtime filters changed results:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["selective_2x"] != 1 {
+		t.Errorf("selective joins (<=1%% hit rate) must be at least 2x cheaper:\n%s",
+			strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["nonselective_bounded"] != 1 {
+		t.Errorf("adaptive disable must bound overhead to 10%% on join-everything:\n%s",
+			strings.Join(r.Lines, "\n"))
+	}
+	if len(points) < 5 {
+		t.Fatalf("expected a selectivity ladder, got %d points", len(points))
+	}
+	most, least := points[0], points[len(points)-1]
+	if most.Dropped == 0 || most.Disabled != 0 {
+		t.Errorf("most selective point must drop rows and stay enabled: %+v", most)
+	}
+	if least.Disabled == 0 {
+		t.Errorf("join-everything point must adaptively disable its filter: %+v", least)
 	}
 }
 

@@ -1,0 +1,51 @@
+package opt
+
+import "rqp/internal/plan"
+
+// CreditRuntimeFilters plants runtime join filter sites on a finished
+// physical plan (plan.PlanRuntimeFilters) and folds the expected savings
+// into the plan's cumulative cost estimates: for each producing join, probe
+// rows expected to be dropped — estimated from the join's own selectivity,
+// drop fraction d = clamp(1 − outRows/probeRows, 0, 1) — skip their RowCPU
+// and HashProbe charges, while every probe row pays one FilterTest. Joins
+// whose expected saving does not cover the membership tests credit nothing
+// (the executor's adaptive disable bounds that case at run time too).
+//
+// Because Props.EstCost is cumulative, the credit of a subtree propagates to
+// every ancestor. Each node records its subtree credit in Props.RFCredit and
+// the pass undoes the previous credit before applying the new one, so
+// re-crediting a cached plan is idempotent. Returns the number of filter
+// sites planted and the total credit at the root.
+func (o *Optimizer) CreditRuntimeFilters(root plan.Node) (sites int, credit float64) {
+	sites = plan.PlanRuntimeFilters(root)
+	var rec func(n plan.Node) float64
+	rec = func(n plan.Node) float64 {
+		sub := 0.0
+		for _, c := range n.Children() {
+			sub += rec(c)
+		}
+		if j, ok := n.(*plan.JoinNode); ok && len(j.RFilters) > 0 {
+			probe := j.Kids[0].Props().EstRows
+			if probe > 0 {
+				d := 1 - j.Prop.EstRows/probe
+				if d < 0 {
+					d = 0
+				}
+				if d > 1 {
+					d = 1
+				}
+				local := probe*d*(o.CM.RowCPU+o.CM.HashProbe) - probe*o.CM.FilterTest
+				if local > 0 {
+					sub += local
+				}
+			}
+		}
+		p := n.Props()
+		p.EstCost += p.RFCredit
+		p.EstCost -= sub
+		p.RFCredit = sub
+		return sub
+	}
+	credit = rec(root)
+	return sites, credit
+}

@@ -73,6 +73,20 @@ type Props struct {
 	// MarkVectorized; honored by exec when the context enables the
 	// vectorized path).
 	Vectorized bool
+	// RFCredit is the cost-model credit this subtree was granted for
+	// runtime join filters (set by opt.CreditRuntimeFilters; recorded so
+	// re-crediting a cached plan can undo the previous credit first).
+	RFCredit float64
+}
+
+// RFilterSpec wires one runtime join filter between its producer and a
+// consumer. On a JoinNode (producer) Col is the ordinal into RightKeys whose
+// build-side key column feeds the filter; on a scan node (consumer) Col is
+// the column of the scan's output schema tested against the filter. ID ties
+// the two ends together at execution time.
+type RFilterSpec struct {
+	ID  int
+	Col int
 }
 
 // Node is a physical plan operator description.
@@ -110,6 +124,9 @@ type ScanNode struct {
 	Table  *catalog.Table
 	Alias  string
 	Filter expr.Expr // over table schema; nil = none
+	// RFConsume lists runtime join filters this scan tests rows against
+	// (set by PlanRuntimeFilters).
+	RFConsume []RFilterSpec
 }
 
 // IndexScanNode is a B+ tree range scan. Bounds apply to the index key
@@ -126,6 +143,8 @@ type IndexScanNode struct {
 	HiIncl   bool
 	HiSet    bool
 	Residual expr.Expr // over table schema
+	// RFConsume lists runtime join filters this scan tests rows against.
+	RFConsume []RFilterSpec
 }
 
 // JoinNode joins two subplans. LeftKeys/RightKeys index into the respective
@@ -138,6 +157,9 @@ type JoinNode struct {
 	LeftKeys  []int
 	RightKeys []int
 	Residual  expr.Expr
+	// RFilters lists the runtime join filters this join derives from its
+	// build (right) side after draining it (set by PlanRuntimeFilters).
+	RFilters []RFilterSpec
 }
 
 // Left returns the left child.
@@ -168,6 +190,8 @@ type TempScanNode struct {
 	Alias  string
 	Rows   []types.Row
 	Filter expr.Expr
+	// RFConsume lists runtime join filters this scan tests rows against.
+	RFConsume []RFilterSpec
 }
 
 // FilterNode applies a predicate over its child's schema.

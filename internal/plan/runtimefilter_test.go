@@ -1,0 +1,154 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"rqp/internal/expr"
+	"rqp/internal/types"
+)
+
+func rfTestScan(name string, cols ...string) *ScanNode {
+	s := &ScanNode{}
+	sch := make(types.Schema, len(cols))
+	for i, c := range cols {
+		sch[i] = types.Column{Name: c, Kind: types.KindInt}
+	}
+	s.Out = sch
+	s.Title = "SeqScan(" + name + ")"
+	return s
+}
+
+func rfTestJoin(alg JoinAlg, typ JoinType, l, r Node, lk, rk int) *JoinNode {
+	j := &JoinNode{Alg: alg, Type: typ, LeftKeys: []int{lk}, RightKeys: []int{rk}}
+	j.Kids = []Node{l, r}
+	j.Out = l.Schema().Concat(r.Schema())
+	j.Title = alg.String()
+	return j
+}
+
+func TestPlanRuntimeFiltersBasic(t *testing.T) {
+	l := rfTestScan("l", "a", "b")
+	r := rfTestScan("r", "k")
+	j := rfTestJoin(JoinHash, Inner, l, r, 1, 0)
+
+	if n := PlanRuntimeFilters(j); n != 1 {
+		t.Fatalf("planted %d filters, want 1", n)
+	}
+	if want := []RFilterSpec{{ID: 0, Col: 0}}; !reflect.DeepEqual(j.RFilters, want) {
+		t.Fatalf("producer spec %+v, want %+v", j.RFilters, want)
+	}
+	if want := []RFilterSpec{{ID: 0, Col: 1}}; !reflect.DeepEqual(l.RFConsume, want) {
+		t.Fatalf("consumer spec %+v, want %+v", l.RFConsume, want)
+	}
+	if len(r.RFConsume) != 0 {
+		t.Fatalf("build-side scan must not consume its own filter: %+v", r.RFConsume)
+	}
+}
+
+func TestPlanRuntimeFiltersIdempotent(t *testing.T) {
+	l := rfTestScan("l", "a", "b")
+	r := rfTestScan("r", "k")
+	j := rfTestJoin(JoinHash, Inner, l, r, 0, 0)
+
+	n1 := PlanRuntimeFilters(j)
+	prod, cons := append([]RFilterSpec(nil), j.RFilters...), append([]RFilterSpec(nil), l.RFConsume...)
+	n2 := PlanRuntimeFilters(j)
+	if n1 != n2 {
+		t.Fatalf("replanning changed count: %d then %d", n1, n2)
+	}
+	if !reflect.DeepEqual(j.RFilters, prod) || !reflect.DeepEqual(l.RFConsume, cons) {
+		t.Fatalf("replanning changed wiring: %+v/%+v then %+v/%+v", prod, cons, j.RFilters, l.RFConsume)
+	}
+}
+
+func TestPlanRuntimeFiltersDescendsFilterAndProject(t *testing.T) {
+	base := rfTestScan("l", "a", "b")
+	f := &FilterNode{Pred: &expr.Const{}}
+	f.Kids = []Node{base}
+	f.Out = base.Out
+	// Project swaps the columns; the join keys on project output column 0,
+	// which is scan column 1.
+	p := &ProjectNode{Exprs: []expr.Expr{&expr.Col{Index: 1}, &expr.Col{Index: 0}}}
+	p.Kids = []Node{f}
+	p.Out = types.Schema{base.Out[1], base.Out[0]}
+	r := rfTestScan("r", "k")
+	j := rfTestJoin(JoinHash, Inner, p, r, 0, 0)
+
+	if n := PlanRuntimeFilters(j); n != 1 {
+		t.Fatalf("planted %d filters, want 1", n)
+	}
+	if want := []RFilterSpec{{ID: 0, Col: 1}}; !reflect.DeepEqual(base.RFConsume, want) {
+		t.Fatalf("consumer spec %+v, want %+v (column remapped through project)", base.RFConsume, want)
+	}
+}
+
+func TestPlanRuntimeFiltersBlocked(t *testing.T) {
+	mkJoin := func(mid func(Node) Node, alg JoinAlg, typ JoinType) (*JoinNode, *ScanNode) {
+		base := rfTestScan("l", "a")
+		var left Node = base
+		if mid != nil {
+			left = mid(base)
+		}
+		r := rfTestScan("r", "k")
+		return rfTestJoin(alg, typ, left, r, 0, 0), base
+	}
+
+	limit := func(c Node) Node {
+		l := &LimitNode{N: 5}
+		l.Kids = []Node{c}
+		l.Out = c.Schema()
+		return l
+	}
+	computed := func(c Node) Node {
+		p := &ProjectNode{Exprs: []expr.Expr{&expr.Bin{}}}
+		p.Kids = []Node{c}
+		p.Out = c.Schema()
+		return p
+	}
+	cases := []struct {
+		name string
+		mid  func(Node) Node
+		alg  JoinAlg
+		typ  JoinType
+	}{
+		{"limit-blocks", limit, JoinHash, Inner},
+		{"computed-project-blocks", computed, JoinHash, Inner},
+		{"merge-join-no-build", nil, JoinMerge, Inner},
+		{"outer-join-no-filter", nil, JoinHash, LeftOuter},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j, base := mkJoin(tc.mid, tc.alg, tc.typ)
+			// Stale annotations from a previous planning round must be
+			// cleared even when nothing is planted.
+			j.RFilters = []RFilterSpec{{ID: 9, Col: 0}}
+			base.RFConsume = []RFilterSpec{{ID: 9, Col: 0}}
+			if n := PlanRuntimeFilters(j); n != 0 {
+				t.Fatalf("planted %d filters, want 0", n)
+			}
+			if len(j.RFilters) != 0 || len(base.RFConsume) != 0 {
+				t.Fatalf("stale annotations survived: %+v / %+v", j.RFilters, base.RFConsume)
+			}
+		})
+	}
+}
+
+func TestPlanRuntimeFiltersCrossesInnerJoinProbeSide(t *testing.T) {
+	// upper join's probe key traces through a lower inner join's probe side.
+	base := rfTestScan("l", "a", "b")
+	mid := rfTestScan("m", "k")
+	lower := rfTestJoin(JoinHash, Inner, base, mid, 0, 0)
+	r := rfTestScan("r", "k")
+	upper := rfTestJoin(JoinHash, Inner, lower, r, 1, 0) // column 1 = base.b
+
+	if n := PlanRuntimeFilters(upper); n != 2 {
+		t.Fatalf("planted %d filters, want 2 (one per join)", n)
+	}
+	// Pre-order: upper's filter gets ID 0 and lands on base column 1; the
+	// lower join's filter gets ID 1 on base column 0.
+	want := []RFilterSpec{{ID: 0, Col: 1}, {ID: 1, Col: 0}}
+	if !reflect.DeepEqual(base.RFConsume, want) {
+		t.Fatalf("consumer specs %+v, want %+v", base.RFConsume, want)
+	}
+}

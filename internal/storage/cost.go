@@ -19,9 +19,13 @@ type CostModel struct {
 	RowCPU       float64 // per-row processing (filter, project, copy)
 	HashProbe    float64 // per-probe hash table work
 	Compare      float64 // per-comparison sort/merge work
+	FilterTest   float64 // per-key runtime-filter membership test (Bloom + bounds)
 }
 
-// DefaultCostModel is the machine every experiment runs on.
+// DefaultCostModel is the machine every experiment runs on. FilterTest is
+// deliberately far below RowCPU + HashProbe: a runtime filter only decodes
+// the key column and touches two Bloom bits, which is what makes dropping a
+// probe row before full per-row processing a win.
 func DefaultCostModel() CostModel {
 	return CostModel{
 		SeqPageRead:  1.0,
@@ -30,6 +34,7 @@ func DefaultCostModel() CostModel {
 		RowCPU:       0.01,
 		HashProbe:    0.015,
 		Compare:      0.012,
+		FilterTest:   0.002,
 	}
 }
 
@@ -104,6 +109,14 @@ func (c *Clock) RowWorkBatch(n int) {
 
 // ProbesBatch charges n hash probes, exactly equal to n calls of Probes(1).
 func (c *Clock) ProbesBatch(n int) { c.addBatch(n, c.model.HashProbe) }
+
+// FilterTests charges n runtime-filter membership tests.
+func (c *Clock) FilterTests(n int) { c.add(c.model.FilterTest * float64(n)) }
+
+// FilterTestsBatch charges n runtime-filter membership tests, exactly equal
+// to n calls of FilterTests(1) — the identity that keeps row and vectorized
+// filter charges bit-identical.
+func (c *Clock) FilterTestsBatch(n int) { c.addBatch(n, c.model.FilterTest) }
 
 // Compares charges n comparisons.
 func (c *Clock) Compares(n int) { c.add(c.model.Compare * float64(n)) }

@@ -45,6 +45,28 @@ func TestClockConcurrentSafety(t *testing.T) {
 	}
 }
 
+// TestClockBatchChargeParity: every batch charge must equal the same
+// number of single charges bit for bit in the integer unit domain — the
+// identity the vectorized executor's cost parity rests on, extended here
+// to runtime-filter membership tests.
+func TestClockBatchChargeParity(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 1024, 99999} {
+		single := NewClock(DefaultCostModel())
+		batch := NewClock(DefaultCostModel())
+		for i := 0; i < n; i++ {
+			single.RowWork(1)
+			single.Probes(1)
+			single.FilterTests(1)
+		}
+		batch.RowWorkBatch(n)
+		batch.ProbesBatch(n)
+		batch.FilterTestsBatch(n)
+		if single.Units() != batch.Units() {
+			t.Errorf("n=%d: batch charges %v != %v single charges", n, batch.Units(), single.Units())
+		}
+	}
+}
+
 func TestStopwatch(t *testing.T) {
 	c := NewClock(DefaultCostModel())
 	c.SeqRead(5)
