@@ -12,6 +12,13 @@
 //	rqpbench -json -mem-sweep -o BENCH_spill.json
 //	rqpbench -filter-sweep   # runtime-filter selectivity sweep
 //	rqpbench -json -filter-sweep -o BENCH_filter.json
+//	rqpbench -json -dop-sweep -o BENCH_parallel.json     # DOP cost-parity map
+//	rqpbench -json -vec-sweep -o BENCH_vectorized.json   # row-vs-vec parity map
+//	rqpbench -debug-addr :6060   # live /metrics /queries /trace/{id} while running
+//
+// Every -json file embeds a self-describing meta header (timestamp, go
+// version, scale/DOP/vec/rf/memory config, dataset seed) so cmd/rqpregress
+// can refuse apples-to-oranges comparisons.
 package main
 
 import (
@@ -22,104 +29,9 @@ import (
 	"strings"
 	"time"
 
-	"rqp/internal/core"
+	"rqp/internal/bench"
 	"rqp/internal/experiments"
-	"rqp/internal/workload"
 )
-
-// experimentJSON is one experiment's machine-readable result.
-type experimentJSON struct {
-	ID       string             `json:"id"`
-	Title    string             `json:"title"`
-	WallMS   float64            `json:"wall_ms"`
-	Headline map[string]float64 `json:"headline"`
-}
-
-// queryJSON is one traced probe query's result: the per-query numbers the
-// text reports only aggregate.
-type queryJSON struct {
-	ID            int     `json:"id"`
-	Policy        string  `json:"policy"`
-	Trapped       bool    `json:"trapped"`
-	Rows          int     `json:"rows"`
-	CostUnits     float64 `json:"cost_units"`
-	Reopts        int     `json:"reopts"`
-	QErrorGeomean float64 `json:"qerror_geomean"`
-}
-
-// memSweepJSON is one rung of the memory-degradation robustness map: the
-// sweep suite run under one workspace budget.
-type memSweepJSON struct {
-	BudgetRows      int     `json:"budget_rows"`
-	CostUnits       float64 `json:"cost_units"`
-	SpillPartitions int     `json:"spill_partitions"`
-	SpillRows       int     `json:"spill_rows"`
-	SpillPages      int     `json:"spill_pages"`
-	RecursionDepth  int     `json:"recursion_depth"`
-	MergeFallbacks  int     `json:"merge_fallbacks"`
-	ResultExact     bool    `json:"result_exact"`
-}
-
-// filterSweepJSON is one rung of the runtime-filter robustness map: the
-// fact x dim hash join run with and without filters at one selectivity.
-type filterSweepJSON struct {
-	Selectivity     float64 `json:"selectivity"`
-	UnfilteredUnits float64 `json:"unfiltered_units"`
-	FilteredUnits   float64 `json:"filtered_units"`
-	Ratio           float64 `json:"ratio"`
-	FiltersBuilt    int     `json:"filters_built"`
-	RowsTested      int     `json:"rows_tested"`
-	RowsDropped     int     `json:"rows_dropped"`
-	FiltersDisabled int     `json:"filters_disabled"`
-	ResultExact     bool    `json:"result_exact"`
-}
-
-type benchJSON struct {
-	Scale       float64           `json:"scale"`
-	Experiments []experimentJSON  `json:"experiments"`
-	Queries     []queryJSON       `json:"queries"`
-	MemSweep    []memSweepJSON    `json:"mem_sweep,omitempty"`
-	FilterSweep []filterSweepJSON `json:"filter_sweep,omitempty"`
-}
-
-// probeQueries runs a small correlation-trap star workload under each
-// execution policy with tracing enabled and reports per-query cost, reopt
-// count and q-error geomean.
-func probeQueries(scale float64, dop int, vec bool) ([]queryJSON, error) {
-	sc := workload.DefaultStar()
-	sc.FactRows = max(500, int(float64(sc.FactRows)*scale*0.2))
-	sc.DimRows = max(200, int(float64(sc.DimRows)*scale*0.2))
-	sc.Dim2Rows = max(100, int(float64(sc.Dim2Rows)*scale*0.2))
-	queries := workload.StarWorkload(sc, 8, 0.5, 42)
-	var out []queryJSON
-	for _, pol := range []core.ExecPolicy{core.PolicyClassic, core.PolicyPOP, core.PolicyRio} {
-		cat, err := workload.BuildStar(sc)
-		if err != nil {
-			return nil, err
-		}
-		cfg := core.DefaultConfig()
-		cfg.Policy = pol
-		cfg.TraceAll = true
-		cfg.DOP = dop
-		cfg.Vec = vec
-		eng := core.Attach(cat, cfg)
-		for i, q := range queries {
-			res, err := eng.Exec(q.SQL)
-			if err != nil {
-				return nil, fmt.Errorf("probe %s q%d: %w", pol, i, err)
-			}
-			qj := queryJSON{
-				ID: i, Policy: pol.String(), Trapped: q.Trapped,
-				Rows: len(res.Rows), CostUnits: res.Cost, Reopts: res.Reopts,
-			}
-			if res.Trace != nil {
-				qj.QErrorGeomean = res.Trace.QErrorGeomean()
-			}
-			out = append(out, qj)
-		}
-	}
-	return out, nil
-}
 
 func main() {
 	var (
@@ -135,6 +47,12 @@ func main() {
 			"run the memory-degradation sweep: per-budget cost curves with spill statistics")
 		filterSweep = flag.Bool("filter-sweep", false,
 			"run the runtime-filter sweep: filtered vs unfiltered join cost across selectivities")
+		dopSweep = flag.Bool("dop-sweep", false,
+			"run the parallel cost-parity sweep: suite cost across DOP 1/2/4/8 (must be identical)")
+		vecSweep = flag.Bool("vec-sweep", false,
+			"run the row-vs-vectorized parity sweep: per-query cost on both paths (must be identical)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve live introspection (/metrics, /queries, /trace/{id}, pprof) on this address while the bench runs")
 	)
 	flag.Parse()
 
@@ -145,15 +63,40 @@ func main() {
 		}
 		return
 	}
+	anySweep := *memSweep || *filterSweep || *dopSweep || *vecSweep
 	ids := experiments.IDs()
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")
-	} else if *memSweep || *filterSweep {
+	} else if anySweep {
 		// A sweep flag alone runs just that sweep; combine with -e to add
 		// experiments.
 		ids = nil
 	}
-	result := benchJSON{Scale: *scale, Experiments: []experimentJSON{}, Queries: []queryJSON{}}
+	kind := "probes"
+	switch {
+	case *memSweep && !*filterSweep && !*dopSweep && !*vecSweep && *exps == "":
+		kind = "mem-sweep"
+	case *filterSweep && !*memSweep && !*dopSweep && !*vecSweep && *exps == "":
+		kind = "filter-sweep"
+	case *dopSweep && !*memSweep && !*filterSweep && !*vecSweep && *exps == "":
+		kind = "dop-sweep"
+	case *vecSweep && !*memSweep && !*filterSweep && !*dopSweep && *exps == "":
+		kind = "vec-sweep"
+	case anySweep || *exps != "":
+		kind = "mixed"
+	}
+	result := bench.Result{Meta: bench.NewMeta(kind, *scale, *dop, *vec, false, 0)}
+
+	if *debugAddr != "" {
+		srv, err := bench.StartProbeDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server listening on %s\n", srv.Addr)
+		defer srv.Close()
+	}
+
 	failed := 0
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -172,7 +115,7 @@ func main() {
 			continue
 		}
 		if *asJSON {
-			result.Experiments = append(result.Experiments, experimentJSON{
+			result.Experiments = append(result.Experiments, bench.Experiment{
 				ID: rep.ID, Title: rep.Title,
 				WallMS:   float64(wall.Microseconds()) / 1000,
 				Headline: rep.KV,
@@ -182,52 +125,46 @@ func main() {
 			fmt.Printf("(%s wall time: %v)\n\n", id, wall.Round(time.Millisecond))
 		}
 	}
-	if *memSweep {
+	runSweep := func(name string, enabled bool, run func() (*experiments.Report, error)) {
+		if !enabled {
+			return
+		}
 		start := time.Now()
-		rep, points, err := experiments.MemSweep(*scale)
+		rep, err := run()
 		wall := time.Since(start)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mem-sweep failed: %v\n", err)
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			failed++
-		} else if *asJSON {
-			for _, p := range points {
-				result.MemSweep = append(result.MemSweep, memSweepJSON{
-					BudgetRows: p.Budget, CostUnits: p.Units,
-					SpillPartitions: p.Partitions, SpillRows: p.SpillRows,
-					SpillPages: p.SpillPages, RecursionDepth: p.MaxDepth,
-					MergeFallbacks: p.Fallbacks, ResultExact: p.Match,
-				})
-			}
-		} else {
+			return
+		}
+		if !*asJSON {
 			fmt.Println(rep)
-			fmt.Printf("(mem-sweep wall time: %v)\n\n", wall.Round(time.Millisecond))
+			fmt.Printf("(%s wall time: %v)\n\n", name, wall.Round(time.Millisecond))
 		}
 	}
-	if *filterSweep {
-		start := time.Now()
-		rep, points, err := experiments.FilterSweep(*scale)
-		wall := time.Since(start)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "filter-sweep failed: %v\n", err)
-			failed++
-		} else if *asJSON {
-			for _, p := range points {
-				result.FilterSweep = append(result.FilterSweep, filterSweepJSON{
-					Selectivity: p.Sel, UnfilteredUnits: p.Unfiltered,
-					FilteredUnits: p.Filtered, Ratio: p.Ratio,
-					FiltersBuilt: p.Built, RowsTested: p.Tested,
-					RowsDropped: p.Dropped, FiltersDisabled: p.Disabled,
-					ResultExact: p.Match,
-				})
-			}
-		} else {
-			fmt.Println(rep)
-			fmt.Printf("(filter-sweep wall time: %v)\n\n", wall.Round(time.Millisecond))
-		}
-	}
+	runSweep("mem-sweep", *memSweep, func() (*experiments.Report, error) {
+		points, rep, err := bench.RunMemSweep(*scale)
+		result.MemSweep = points
+		return rep, err
+	})
+	runSweep("filter-sweep", *filterSweep, func() (*experiments.Report, error) {
+		points, rep, err := bench.RunFilterSweep(*scale)
+		result.FilterSweep = points
+		return rep, err
+	})
+	runSweep("dop-sweep", *dopSweep, func() (*experiments.Report, error) {
+		points, rep, err := bench.RunDopSweep(*scale)
+		result.DopSweep = points
+		return rep, err
+	})
+	runSweep("vec-sweep", *vecSweep, func() (*experiments.Report, error) {
+		points, rep, err := bench.RunVecSweep(*scale)
+		result.VecSweep = points
+		return rep, err
+	})
 	if *asJSON {
-		if !*noProbes && (!*memSweep && !*filterSweep || *exps != "") {
-			qs, err := probeQueries(*scale, *dop, *vec)
+		if !*noProbes && (!anySweep || *exps != "") {
+			qs, err := bench.ProbeQueries(*scale, *dop, *vec)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "query probes failed: %v\n", err)
 				failed++

@@ -10,6 +10,8 @@
 //	rqpsh -policy pop -leo       # POP execution with LEO feedback
 //	rqpsh -db tpch -mem 200      # tight workspace: big hash joins spill
 //	rqpsh -db tpch -mem 2000 -mem-shrink 200   # budget collapses mid-query
+//	rqpsh -db tpch -debug-addr :6060   # curl /queries, /metrics, /trace/{id}
+//	rqpsh -db tpch -querylog queries.jsonl     # one JSON record per query
 //	echo "SELECT 1 FROM r" | rqpsh -db tpch
 package main
 
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"rqp/internal/core"
+	"rqp/internal/obs"
 	"rqp/internal/opt"
 	"rqp/internal/wlm"
 	"rqp/internal/workload"
@@ -43,6 +46,10 @@ func main() {
 			"inject memory pressure: budget declines from -mem to this floor across grants mid-query")
 		memPool = flag.Int("mempool", 0,
 			"with -mpl, workspace rows shared by running queries (arrivals reclaim from the running)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve live introspection (/metrics, /queries, /trace/{id}, pprof) on this address; implies per-query tracing")
+		queryLog = flag.String("querylog", "",
+			"append one structured JSONL record per completed query to this file")
 	)
 	flag.Parse()
 
@@ -85,6 +92,20 @@ func main() {
 	if *memShrink > 0 {
 		cfg.MemSchedule = wlm.DecliningMemory(cfg.MemBudgetRows, *memShrink, 8)
 	}
+	if *debugAddr != "" {
+		// Tracing gives /queries its progress estimates and /trace/{id} its
+		// span trees; without it the registry still tracks IDs and phases.
+		cfg.TraceAll = true
+	}
+	if *queryLog != "" {
+		sink, closer, err := obs.OpenJSONLFile(*queryLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer closer.Close()
+		cfg.QueryLog = sink
+	}
 
 	var eng *core.Engine
 	switch *db {
@@ -112,6 +133,16 @@ func main() {
 
 	if *cache {
 		eng.Cache = core.NewPlanCache(0)
+	}
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, eng.Metrics, eng.Lifecycle)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server listening on %s (/metrics, /queries, /trace/{id}, /debug/pprof)\n", srv.Addr)
 	}
 
 	fmt.Printf("rqp shell (policy=%s, estimate=%s, leo=%v). End statements with ';'. \\metrics dumps counters, \\q quits.\n",

@@ -1,0 +1,308 @@
+// Package bench defines the machine-readable benchmark format shared by
+// cmd/rqpbench (which produces BENCH_*.json) and cmd/rqpregress (which
+// gates fresh runs against the committed baselines). Every file is
+// self-describing: a Meta header records when, with which toolchain and
+// under which engine configuration the numbers were produced, so the
+// regression gate can refuse apples-to-oranges comparisons instead of
+// silently diffing incomparable runs — the benchmarking discipline OptMark
+// (arXiv:1608.02611) argues robustness claims need.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"rqp/internal/core"
+	"rqp/internal/experiments"
+	"rqp/internal/obs"
+	"rqp/internal/workload"
+)
+
+// probeObs holds one process-wide metrics registry and query-lifecycle
+// registry shared by every probe engine, so a single -debug-addr server
+// can watch the whole bench run's queries regardless of which policy
+// engine is currently executing.
+var probeObs struct {
+	once    sync.Once
+	metrics *obs.Registry
+	queries *obs.QueryRegistry
+}
+
+func probeRegistries() (*obs.Registry, *obs.QueryRegistry) {
+	probeObs.once.Do(func() {
+		probeObs.metrics = obs.NewRegistry()
+		probeObs.queries = obs.NewQueryRegistry(256, probeObs.metrics)
+	})
+	return probeObs.metrics, probeObs.queries
+}
+
+// StartProbeDebugServer serves /metrics, /queries, /trace/{id} and pprof
+// for the probe workload on addr. Probe engines created afterwards report
+// into the served registries.
+func StartProbeDebugServer(addr string) (*obs.DebugServer, error) {
+	m, q := probeRegistries()
+	return obs.StartDebugServer(addr, m, q)
+}
+
+// ProbeSeed is the dataset seed for the traced probe workload; it is
+// recorded in Meta so two files probe the same data or refuse to compare.
+const ProbeSeed = 42
+
+// Meta makes a benchmark file self-describing. Identity fields (Scale,
+// DOP, Vec, RF, MemBudgetRows, Seed) must match for two files to be
+// comparable; provenance fields (Timestamp, GoVersion, OS, Arch) are
+// informational.
+type Meta struct {
+	Kind          string  `json:"kind"` // probes | mem-sweep | filter-sweep | dop-sweep | vec-sweep | mixed
+	Timestamp     string  `json:"timestamp"`
+	GoVersion     string  `json:"go_version"`
+	OS            string  `json:"os"`
+	Arch          string  `json:"arch"`
+	Scale         float64 `json:"scale"`
+	DOP           int     `json:"dop"`
+	Vec           bool    `json:"vec"`
+	RF            bool    `json:"rf"`
+	MemBudgetRows int     `json:"mem_budget_rows"`
+	Seed          int64   `json:"seed"`
+}
+
+// NewMeta stamps a meta header for a run produced right now by this
+// binary.
+func NewMeta(kind string, scale float64, dop int, vec, rf bool, memRows int) Meta {
+	return Meta{
+		Kind:          kind,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		OS:            runtime.GOOS,
+		Arch:          runtime.GOARCH,
+		Scale:         scale,
+		DOP:           dop,
+		Vec:           vec,
+		RF:            rf,
+		MemBudgetRows: memRows,
+		Seed:          ProbeSeed,
+	}
+}
+
+// Comparable reports whether two metas describe the same experiment
+// configuration; the error names the first mismatched identity field.
+func (m Meta) Comparable(other Meta) error {
+	switch {
+	case m.Scale != other.Scale:
+		return fmt.Errorf("scale mismatch: %v vs %v", m.Scale, other.Scale)
+	case m.DOP != other.DOP:
+		return fmt.Errorf("dop mismatch: %d vs %d", m.DOP, other.DOP)
+	case m.Vec != other.Vec:
+		return fmt.Errorf("vec mismatch: %v vs %v", m.Vec, other.Vec)
+	case m.RF != other.RF:
+		return fmt.Errorf("rf mismatch: %v vs %v", m.RF, other.RF)
+	case m.MemBudgetRows != other.MemBudgetRows:
+		return fmt.Errorf("mem_budget_rows mismatch: %d vs %d", m.MemBudgetRows, other.MemBudgetRows)
+	case m.Seed != other.Seed:
+		return fmt.Errorf("seed mismatch: %d vs %d", m.Seed, other.Seed)
+	}
+	return nil
+}
+
+// Experiment is one experiment's machine-readable result.
+type Experiment struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	WallMS   float64            `json:"wall_ms"`
+	Headline map[string]float64 `json:"headline"`
+}
+
+// Query is one traced probe query's result: the per-query numbers the text
+// reports only aggregate.
+type Query struct {
+	ID            int     `json:"id"`
+	Policy        string  `json:"policy"`
+	Trapped       bool    `json:"trapped"`
+	Rows          int     `json:"rows"`
+	CostUnits     float64 `json:"cost_units"`
+	Reopts        int     `json:"reopts"`
+	QErrorGeomean float64 `json:"qerror_geomean"`
+	Fingerprint   string  `json:"fingerprint,omitempty"`
+}
+
+// MemSweepPoint is one rung of the memory-degradation robustness map.
+type MemSweepPoint struct {
+	BudgetRows      int     `json:"budget_rows"`
+	CostUnits       float64 `json:"cost_units"`
+	SpillPartitions int     `json:"spill_partitions"`
+	SpillRows       int     `json:"spill_rows"`
+	SpillPages      int     `json:"spill_pages"`
+	RecursionDepth  int     `json:"recursion_depth"`
+	MergeFallbacks  int     `json:"merge_fallbacks"`
+	ResultExact     bool    `json:"result_exact"`
+}
+
+// FilterSweepPoint is one rung of the runtime-filter robustness map.
+type FilterSweepPoint struct {
+	Selectivity     float64 `json:"selectivity"`
+	UnfilteredUnits float64 `json:"unfiltered_units"`
+	FilteredUnits   float64 `json:"filtered_units"`
+	Ratio           float64 `json:"ratio"`
+	FiltersBuilt    int     `json:"filters_built"`
+	RowsTested      int     `json:"rows_tested"`
+	RowsDropped     int     `json:"rows_dropped"`
+	FiltersDisabled int     `json:"filters_disabled"`
+	ResultExact     bool    `json:"result_exact"`
+}
+
+// DopSweepPoint is one rung of the parallel cost-parity map.
+type DopSweepPoint struct {
+	DOP         int     `json:"dop"`
+	CostUnits   float64 `json:"cost_units"`
+	WallMS      float64 `json:"wall_ms"`
+	ResultExact bool    `json:"result_exact"`
+}
+
+// VecSweepPoint is one rung of the row-vs-vectorized parity map.
+type VecSweepPoint struct {
+	Query       string  `json:"query"`
+	RowUnits    float64 `json:"row_units"`
+	VecUnits    float64 `json:"vec_units"`
+	ResultExact bool    `json:"result_exact"`
+	CostParity  bool    `json:"cost_parity"`
+}
+
+// Result is one bench file: the meta header plus whichever sections the
+// run produced.
+type Result struct {
+	Meta        Meta               `json:"meta"`
+	Experiments []Experiment       `json:"experiments,omitempty"`
+	Queries     []Query            `json:"queries,omitempty"`
+	MemSweep    []MemSweepPoint    `json:"mem_sweep,omitempty"`
+	FilterSweep []FilterSweepPoint `json:"filter_sweep,omitempty"`
+	DopSweep    []DopSweepPoint    `json:"dop_sweep,omitempty"`
+	VecSweep    []VecSweepPoint    `json:"vec_sweep,omitempty"`
+}
+
+// Load reads and decodes a bench file.
+func Load(path string) (*Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// ProbeQueries runs a small correlation-trap star workload under each
+// execution policy with tracing enabled and reports per-query cost, reopt
+// count, q-error geomean and plan fingerprint.
+func ProbeQueries(scale float64, dop int, vec bool) ([]Query, error) {
+	sc := workload.DefaultStar()
+	sc.FactRows = max(500, int(float64(sc.FactRows)*scale*0.2))
+	sc.DimRows = max(200, int(float64(sc.DimRows)*scale*0.2))
+	sc.Dim2Rows = max(100, int(float64(sc.Dim2Rows)*scale*0.2))
+	queries := workload.StarWorkload(sc, 8, 0.5, ProbeSeed)
+	var out []Query
+	for _, pol := range []core.ExecPolicy{core.PolicyClassic, core.PolicyPOP, core.PolicyRio} {
+		cat, err := workload.BuildStar(sc)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Policy = pol
+		cfg.TraceAll = true
+		cfg.DOP = dop
+		cfg.Vec = vec
+		eng := core.Attach(cat, cfg)
+		// Report into the shared probe registries so a -debug-addr server
+		// sees every policy engine's queries under one roof.
+		eng.Metrics, eng.Lifecycle = probeRegistries()
+		for i, q := range queries {
+			res, err := eng.Exec(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("probe %s q%d: %w", pol, i, err)
+			}
+			qj := Query{
+				ID: i, Policy: pol.String(), Trapped: q.Trapped,
+				Rows: len(res.Rows), CostUnits: res.Cost, Reopts: res.Reopts,
+			}
+			if res.Trace != nil {
+				qj.QErrorGeomean = res.Trace.QErrorGeomean()
+				qj.Fingerprint = res.Trace.Fingerprint()
+			}
+			out = append(out, qj)
+		}
+	}
+	return out, nil
+}
+
+// RunMemSweep produces the mem_sweep section.
+func RunMemSweep(scale float64) ([]MemSweepPoint, *experiments.Report, error) {
+	rep, points, err := experiments.MemSweep(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]MemSweepPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, MemSweepPoint{
+			BudgetRows: p.Budget, CostUnits: p.Units,
+			SpillPartitions: p.Partitions, SpillRows: p.SpillRows,
+			SpillPages: p.SpillPages, RecursionDepth: p.MaxDepth,
+			MergeFallbacks: p.Fallbacks, ResultExact: p.Match,
+		})
+	}
+	return out, rep, nil
+}
+
+// RunFilterSweep produces the filter_sweep section.
+func RunFilterSweep(scale float64) ([]FilterSweepPoint, *experiments.Report, error) {
+	rep, points, err := experiments.FilterSweep(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]FilterSweepPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, FilterSweepPoint{
+			Selectivity: p.Sel, UnfilteredUnits: p.Unfiltered,
+			FilteredUnits: p.Filtered, Ratio: p.Ratio,
+			FiltersBuilt: p.Built, RowsTested: p.Tested,
+			RowsDropped: p.Dropped, FiltersDisabled: p.Disabled,
+			ResultExact: p.Match,
+		})
+	}
+	return out, rep, nil
+}
+
+// RunDopSweep produces the dop_sweep section.
+func RunDopSweep(scale float64) ([]DopSweepPoint, *experiments.Report, error) {
+	rep, points, err := experiments.DopSweep(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]DopSweepPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, DopSweepPoint{
+			DOP: p.DOP, CostUnits: p.Units, WallMS: p.WallMS, ResultExact: p.Match,
+		})
+	}
+	return out, rep, nil
+}
+
+// RunVecSweep produces the vec_sweep section.
+func RunVecSweep(scale float64) ([]VecSweepPoint, *experiments.Report, error) {
+	rep, points, err := experiments.VecSweep(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]VecSweepPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, VecSweepPoint{
+			Query: p.Query, RowUnits: p.RowUnits, VecUnits: p.VecUnits,
+			ResultExact: p.Match, CostParity: p.Parity,
+		})
+	}
+	return out, rep, nil
+}

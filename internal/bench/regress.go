@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Violation is one regression-gate failure: a metric that moved past the
+// tolerance band, lost exactness, or disappeared.
+type Violation struct {
+	Where    string  // e.g. "mem_sweep[budget_rows=64].cost_units"
+	Baseline float64 `json:",omitempty"`
+	Fresh    float64 `json:",omitempty"`
+	DeltaPct float64 `json:",omitempty"`
+	Msg      string
+}
+
+// String renders the violation for the gate's report.
+func (v Violation) String() string {
+	if v.Msg != "" {
+		return fmt.Sprintf("%s: %s", v.Where, v.Msg)
+	}
+	return fmt.Sprintf("%s: %.3f -> %.3f (%+.1f%% > tol)", v.Where, v.Baseline, v.Fresh, v.DeltaPct)
+}
+
+// Compare diffs a fresh bench result against a committed baseline and
+// returns the violations. tolPct is the allowed cost/latency increase in
+// percent (improvements never fail the gate; they are the caller's to
+// celebrate). Only deterministic simulated-cost metrics are gated —
+// wall-clock fields are machine-dependent and ignored. Sections present in
+// the baseline but absent from the fresh run are violations (silent loss
+// of coverage); sections only in the fresh run are ignored (new coverage
+// is not a regression). Exactness flags (result_exact, cost_parity) must
+// never decay from true to false.
+//
+// Comparability of the two metas is a precondition: call
+// base.Meta.Comparable(fresh.Meta) first; Compare itself returns a single
+// meta violation instead of a misleading metric diff when they differ.
+func Compare(base, fresh *Result, tolPct float64) []Violation {
+	if err := base.Meta.Comparable(fresh.Meta); err != nil {
+		return []Violation{{Where: "meta", Msg: "not comparable: " + err.Error()}}
+	}
+	var out []Violation
+	out = append(out, compareMemSweep(base.MemSweep, fresh.MemSweep, tolPct)...)
+	out = append(out, compareFilterSweep(base.FilterSweep, fresh.FilterSweep, tolPct)...)
+	out = append(out, compareDopSweep(base.DopSweep, fresh.DopSweep, tolPct)...)
+	out = append(out, compareVecSweep(base.VecSweep, fresh.VecSweep, tolPct)...)
+	out = append(out, compareQueries(base.Queries, fresh.Queries, tolPct)...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Where < out[j].Where })
+	return out
+}
+
+// gateCost appends a violation when fresh cost exceeds baseline by more
+// than tolPct percent.
+func gateCost(out []Violation, where string, baseV, freshV, tolPct float64) []Violation {
+	if baseV <= 0 {
+		return out
+	}
+	deltaPct := (freshV - baseV) / baseV * 100
+	if deltaPct > tolPct+1e-12 {
+		out = append(out, Violation{Where: where, Baseline: baseV, Fresh: freshV, DeltaPct: deltaPct})
+	}
+	return out
+}
+
+func gateExact(out []Violation, where string, baseOK, freshOK bool) []Violation {
+	if baseOK && !freshOK {
+		out = append(out, Violation{Where: where, Msg: "exactness lost: baseline true, fresh false"})
+	}
+	return out
+}
+
+func missing(where string) Violation {
+	return Violation{Where: where, Msg: "present in baseline, missing from fresh run"}
+}
+
+func compareMemSweep(base, fresh []MemSweepPoint, tol float64) []Violation {
+	var out []Violation
+	byBudget := map[int]MemSweepPoint{}
+	for _, p := range fresh {
+		byBudget[p.BudgetRows] = p
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("mem_sweep[budget_rows=%d]", b.BudgetRows)
+		f, ok := byBudget[b.BudgetRows]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".cost_units", b.CostUnits, f.CostUnits, tol)
+		out = gateExact(out, where+".result_exact", b.ResultExact, f.ResultExact)
+	}
+	return out
+}
+
+func compareFilterSweep(base, fresh []FilterSweepPoint, tol float64) []Violation {
+	var out []Violation
+	bySel := map[string]FilterSweepPoint{}
+	selKey := func(s float64) string { return fmt.Sprintf("%g", s) }
+	for _, p := range fresh {
+		bySel[selKey(p.Selectivity)] = p
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("filter_sweep[selectivity=%g]", b.Selectivity)
+		f, ok := bySel[selKey(b.Selectivity)]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".filtered_units", b.FilteredUnits, f.FilteredUnits, tol)
+		out = gateCost(out, where+".unfiltered_units", b.UnfilteredUnits, f.UnfilteredUnits, tol)
+		out = gateExact(out, where+".result_exact", b.ResultExact, f.ResultExact)
+	}
+	return out
+}
+
+func compareDopSweep(base, fresh []DopSweepPoint, tol float64) []Violation {
+	var out []Violation
+	byDOP := map[int]DopSweepPoint{}
+	for _, p := range fresh {
+		byDOP[p.DOP] = p
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("dop_sweep[dop=%d]", b.DOP)
+		f, ok := byDOP[b.DOP]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".cost_units", b.CostUnits, f.CostUnits, tol)
+		out = gateExact(out, where+".result_exact", b.ResultExact, f.ResultExact)
+	}
+	return out
+}
+
+func compareVecSweep(base, fresh []VecSweepPoint, tol float64) []Violation {
+	var out []Violation
+	byQuery := map[string]VecSweepPoint{}
+	for _, p := range fresh {
+		byQuery[p.Query] = p
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("vec_sweep[query=%s]", b.Query)
+		f, ok := byQuery[b.Query]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".row_units", b.RowUnits, f.RowUnits, tol)
+		out = gateCost(out, where+".vec_units", b.VecUnits, f.VecUnits, tol)
+		out = gateExact(out, where+".result_exact", b.ResultExact, f.ResultExact)
+		out = gateExact(out, where+".cost_parity", b.CostParity, f.CostParity)
+	}
+	return out
+}
+
+func compareQueries(base, fresh []Query, tol float64) []Violation {
+	var out []Violation
+	type key struct {
+		policy string
+		id     int
+	}
+	byKey := map[key]Query{}
+	for _, q := range fresh {
+		byKey[key{q.Policy, q.ID}] = q
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("queries[policy=%s,id=%d]", b.Policy, b.ID)
+		f, ok := byKey[key{b.Policy, b.ID}]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".cost_units", b.CostUnits, f.CostUnits, tol)
+		if b.Rows != f.Rows {
+			out = append(out, Violation{Where: where + ".rows",
+				Msg: fmt.Sprintf("result cardinality changed: %d -> %d", b.Rows, f.Rows)})
+		}
+	}
+	return out
+}
+
+// Summary renders a human-readable gate report: per-section best/worst
+// deltas plus every violation.
+func Summary(base, fresh *Result, tolPct float64, violations []Violation) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "regression gate: tolerance +%.1f%% on simulated cost\n", tolPct)
+	fmt.Fprintf(&sb, "baseline: kind=%s %s go=%s scale=%g seed=%d\n",
+		base.Meta.Kind, base.Meta.Timestamp, base.Meta.GoVersion, base.Meta.Scale, base.Meta.Seed)
+	fmt.Fprintf(&sb, "fresh:    kind=%s %s go=%s scale=%g seed=%d\n",
+		fresh.Meta.Kind, fresh.Meta.Timestamp, fresh.Meta.GoVersion, fresh.Meta.Scale, fresh.Meta.Seed)
+	worst := math.Inf(-1)
+	worstWhere := ""
+	count := 0
+	for _, b := range base.MemSweep {
+		for _, f := range fresh.MemSweep {
+			if f.BudgetRows == b.BudgetRows && b.CostUnits > 0 {
+				d := (f.CostUnits - b.CostUnits) / b.CostUnits * 100
+				count++
+				if d > worst {
+					worst, worstWhere = d, fmt.Sprintf("mem_sweep[%d]", b.BudgetRows)
+				}
+			}
+		}
+	}
+	for _, b := range base.FilterSweep {
+		for _, f := range fresh.FilterSweep {
+			if f.Selectivity == b.Selectivity && b.FilteredUnits > 0 {
+				d := (f.FilteredUnits - b.FilteredUnits) / b.FilteredUnits * 100
+				count++
+				if d > worst {
+					worst, worstWhere = d, fmt.Sprintf("filter_sweep[%g]", b.Selectivity)
+				}
+			}
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(&sb, "worst cost delta: %+.2f%% (%s) over %d compared points\n", worst, worstWhere, count)
+	}
+	if len(violations) == 0 {
+		sb.WriteString("PASS: no regressions beyond tolerance\n")
+	} else {
+		fmt.Fprintf(&sb, "FAIL: %d violation(s)\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(&sb, "  - %s\n", v.String())
+		}
+	}
+	return sb.String()
+}

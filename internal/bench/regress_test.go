@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func testMeta() Meta { return NewMeta("mixed", 0.1, 0, false, false, 0) }
+
+func baseResult() *Result {
+	return &Result{
+		Meta: testMeta(),
+		MemSweep: []MemSweepPoint{
+			{BudgetRows: 64, CostUnits: 1000, ResultExact: true},
+			{BudgetRows: 256, CostUnits: 800, ResultExact: true},
+		},
+		FilterSweep: []FilterSweepPoint{
+			{Selectivity: 0.1, UnfilteredUnits: 500, FilteredUnits: 200, ResultExact: true},
+		},
+		DopSweep: []DopSweepPoint{
+			{DOP: 1, CostUnits: 400, ResultExact: true},
+			{DOP: 8, CostUnits: 400, ResultExact: true},
+		},
+		VecSweep: []VecSweepPoint{
+			{Query: "Q1", RowUnits: 300, VecUnits: 300, ResultExact: true, CostParity: true},
+		},
+		Queries: []Query{
+			{ID: 0, Policy: "classic", Rows: 42, CostUnits: 100},
+		},
+	}
+}
+
+// clone deep-copies a result so tests can perturb one side.
+func clone(r *Result) *Result {
+	c := *r
+	c.MemSweep = append([]MemSweepPoint(nil), r.MemSweep...)
+	c.FilterSweep = append([]FilterSweepPoint(nil), r.FilterSweep...)
+	c.DopSweep = append([]DopSweepPoint(nil), r.DopSweep...)
+	c.VecSweep = append([]VecSweepPoint(nil), r.VecSweep...)
+	c.Queries = append([]Query(nil), r.Queries...)
+	return &c
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	base := baseResult()
+	if v := Compare(base, clone(base), 2.0); len(v) != 0 {
+		t.Fatalf("identical results produced violations: %v", v)
+	}
+}
+
+// TestCompareFailsOnInflatedCosts is the gate's acceptance check: a fresh
+// run whose costs are 20% above baseline must fail a 2% tolerance band in
+// every cost-gated section.
+func TestCompareFailsOnInflatedCosts(t *testing.T) {
+	base := baseResult()
+	fresh := clone(base)
+	for i := range fresh.MemSweep {
+		fresh.MemSweep[i].CostUnits *= 1.20
+	}
+	for i := range fresh.FilterSweep {
+		fresh.FilterSweep[i].FilteredUnits *= 1.20
+	}
+	for i := range fresh.DopSweep {
+		fresh.DopSweep[i].CostUnits *= 1.20
+	}
+	for i := range fresh.VecSweep {
+		fresh.VecSweep[i].RowUnits *= 1.20
+		fresh.VecSweep[i].VecUnits *= 1.20
+	}
+	for i := range fresh.Queries {
+		fresh.Queries[i].CostUnits *= 1.20
+	}
+	violations := Compare(base, fresh, 2.0)
+	// 2 mem points + 1 filter + 2 dop + 2 vec units + 1 probe = 8 cost gates.
+	if len(violations) != 8 {
+		t.Fatalf("violations = %d, want 8:\n%v", len(violations), violations)
+	}
+	for _, v := range violations {
+		if v.DeltaPct < 19.9 || v.DeltaPct > 20.1 {
+			t.Fatalf("delta = %v%%, want ≈20%%: %s", v.DeltaPct, v)
+		}
+	}
+	sum := Summary(base, fresh, 2.0, violations)
+	if !strings.Contains(sum, "FAIL") {
+		t.Fatalf("summary must say FAIL:\n%s", sum)
+	}
+	// The same inflation inside the band passes.
+	if v := Compare(base, fresh, 25.0); len(v) != 0 {
+		t.Fatalf("25%% band must absorb a 20%% inflation: %v", v)
+	}
+}
+
+func TestCompareImprovementsPass(t *testing.T) {
+	base := baseResult()
+	fresh := clone(base)
+	for i := range fresh.MemSweep {
+		fresh.MemSweep[i].CostUnits *= 0.5
+	}
+	if v := Compare(base, fresh, 2.0); len(v) != 0 {
+		t.Fatalf("cost improvements must not fail the gate: %v", v)
+	}
+}
+
+func TestCompareExactnessDecayFails(t *testing.T) {
+	base := baseResult()
+	fresh := clone(base)
+	fresh.MemSweep[0].ResultExact = false
+	fresh.VecSweep[0].CostParity = false
+	violations := Compare(base, fresh, 2.0)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want exactness + parity", violations)
+	}
+	for _, v := range violations {
+		if !strings.Contains(v.Msg, "exactness lost") {
+			t.Fatalf("unexpected violation: %s", v)
+		}
+	}
+}
+
+func TestCompareMissingCoverageFails(t *testing.T) {
+	base := baseResult()
+	fresh := clone(base)
+	fresh.DopSweep = fresh.DopSweep[:1] // silently dropped DOP 8
+	fresh.Queries = nil                 // probes vanished entirely
+	violations := Compare(base, fresh, 2.0)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want 2 missing-coverage failures", violations)
+	}
+	for _, v := range violations {
+		if !strings.Contains(v.Msg, "missing from fresh run") {
+			t.Fatalf("unexpected violation: %s", v)
+		}
+	}
+}
+
+func TestCompareRowCountChangeFails(t *testing.T) {
+	base := baseResult()
+	fresh := clone(base)
+	fresh.Queries[0].Rows = 41
+	violations := Compare(base, fresh, 2.0)
+	if len(violations) != 1 || !strings.Contains(violations[0].Msg, "cardinality changed") {
+		t.Fatalf("violations = %v", violations)
+	}
+}
+
+func TestCompareRefusesMismatchedMeta(t *testing.T) {
+	base := baseResult()
+	fresh := clone(base)
+	fresh.Meta.Scale = 0.5
+	violations := Compare(base, fresh, 2.0)
+	if len(violations) != 1 || violations[0].Where != "meta" ||
+		!strings.Contains(violations[0].Msg, "scale mismatch") {
+		t.Fatalf("violations = %v, want a single meta refusal", violations)
+	}
+
+	fresh = clone(base)
+	fresh.Meta.Seed = 7
+	if v := Compare(base, fresh, 2.0); len(v) != 1 || !strings.Contains(v[0].Msg, "seed mismatch") {
+		t.Fatalf("violations = %v, want seed refusal", v)
+	}
+}
+
+// TestSweepsAreDeterministic re-runs the DOP parity sweep twice at tiny
+// scale and requires a clean gate: the simulated cost clock must make
+// back-to-back runs bit-identical, or the whole regression gate is noise.
+func TestSweepsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload run")
+	}
+	run := func() *Result {
+		points, _, err := RunDopSweep(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Result{Meta: NewMeta("dop-sweep", 0.05, 0, false, false, 0), DopSweep: points}
+	}
+	a, b := run(), run()
+	if len(a.DopSweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if v := Compare(a, b, 0); len(v) != 0 {
+		t.Fatalf("back-to-back sweeps differ at zero tolerance: %v", v)
+	}
+	for _, p := range a.DopSweep {
+		if !p.ResultExact {
+			t.Fatalf("DOP %d runs are not reproducible", p.DOP)
+		}
+		if p.CostUnits != a.DopSweep[0].CostUnits {
+			t.Fatalf("cost parity broken: DOP %d cost %v vs %v", p.DOP, p.CostUnits, a.DopSweep[0].CostUnits)
+		}
+	}
+}

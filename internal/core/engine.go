@@ -99,6 +99,14 @@ type Config struct {
 	// selectivity is too low to pay for the membership tests, so the worst
 	// case stays near the unfiltered plan. Results are identical either way.
 	RuntimeFilters bool
+	// QueryLog, when non-nil, receives one structured record per completed
+	// top-level query (plan fingerprint, cost, q-error geomean, peak memory,
+	// spill/filter/reopt/admission counts) — obs.NewJSONLSink(file) gives
+	// the standard JSONL query log.
+	QueryLog obs.QuerySink
+	// RecentQueries sizes the lifecycle registry's completed-query ring
+	// served by the /queries debug endpoint (default 128).
+	RecentQueries int
 }
 
 // DefaultConfig is the classic configuration.
@@ -126,6 +134,11 @@ type Engine struct {
 	// cost distributions, memory overcommit). Expose() renders them in the
 	// Prometheus text format.
 	Metrics *obs.Registry
+	// Lifecycle is the live query registry: every top-level SELECT gets an
+	// ID and a phase (queued/admitted/running/spilling/…) on entry and a
+	// slot in the completed-query ring on exit. The obs debug server's
+	// /queries and /trace/{id} endpoints read from it.
+	Lifecycle *obs.QueryRegistry
 }
 
 // Open creates an empty engine.
@@ -146,12 +159,22 @@ func Attach(cat *catalog.Catalog, cfg Config) *Engine {
 	}
 	o.Opt.UseFeedback = cfg.LEO
 	o.Opt.GJoinOnly = cfg.GJoinOnly
+	metrics := obs.NewRegistry()
+	ring := cfg.RecentQueries
+	if ring <= 0 {
+		ring = 128
+	}
+	lifecycle := obs.NewQueryRegistry(ring, metrics)
+	if cfg.QueryLog != nil {
+		lifecycle.SetSink(cfg.QueryLog)
+	}
 	return &Engine{
-		Cat:     cat,
-		Opt:     o,
-		Clock:   storage.NewClock(storage.DefaultCostModel()),
-		Cfg:     cfg,
-		Metrics: obs.NewRegistry(),
+		Cat:       cat,
+		Opt:       o,
+		Clock:     storage.NewClock(storage.DefaultCostModel()),
+		Cfg:       cfg,
+		Metrics:   metrics,
+		Lifecycle: lifecycle,
 	}
 }
 
@@ -344,7 +367,38 @@ func (e *Engine) explainAnalyze(sel *sql.SelectStmt, params []types.Value) (*Res
 	return res, nil
 }
 
-func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, depth int, forceTrace bool) (*Result, error) {
+func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, depth int, forceTrace bool) (finalRes *Result, finalErr error) {
+	// Lifecycle registration: every top-level executing query gets an ID
+	// and a phase in the live registry, and retires into the completed ring
+	// (and the query log, if a sink is configured) on this function's single
+	// exit path — including bind/planning failures, which never reach an
+	// execution context.
+	var lifecycle *obs.QueryState
+	var planFP string
+	var ctx *exec.Context
+	admissions := 0
+	if depth == 0 && !explainOnly && e.Lifecycle != nil {
+		lifecycle = e.Lifecycle.Begin(text, e.Cfg.Policy.String())
+		defer func() {
+			lifecycle.SetFingerprint(planFP)
+			st := obs.FinishStats{Err: finalErr, Admissions: admissions}
+			if finalRes != nil {
+				st.Rows = len(finalRes.Rows)
+				st.Reopts = finalRes.Reopts
+			}
+			if ctx != nil {
+				st.CostUnits = ctx.Clock.Units()
+				st.PeakMemRows = ctx.Mem.PeakUse()
+				st.SpillParts, st.SpillRows, _, _, _ = ctx.Spill.Snapshot()
+				if ctx.RF != nil {
+					built, _, dropped, _ := ctx.RF.Snapshot()
+					st.RFBuilt, st.RFDropped = built, dropped
+				}
+			}
+			e.Lifecycle.Finish(lifecycle, st)
+		}()
+	}
+
 	expanded, err := e.expandSubqueries(s, params, depth)
 	if err != nil {
 		return nil, err
@@ -358,7 +412,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 	if err != nil {
 		return nil, err
 	}
-	ctx := exec.NewContext()
+	ctx = exec.NewContext()
 	ctx.Params = params
 	if e.Cfg.MemBudgetRows > 0 {
 		ctx.Mem = exec.NewMemBroker(e.Cfg.MemBudgetRows)
@@ -378,17 +432,28 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		adaptive.AttachLEO(ctx, e.Opt.Feedback)
 	}
 
+	if lifecycle != nil {
+		lifecycle.AttachTrace(trace)
+	}
+
 	// Workload-management admission: top-level executing queries only.
 	if depth == 0 && !explainOnly && e.Cfg.Admission != nil {
 		d := e.Cfg.Admission.TryAdmit()
 		if trace != nil {
 			trace.Event("wlm.admission", d.String())
 		}
+		admissions++
 		if !d.Admitted {
 			e.Metrics.Counter("rqp_wlm_rejected_total").Inc()
+			if lifecycle != nil {
+				lifecycle.SetPhase(obs.PhaseRejected)
+			}
 			return nil, fmt.Errorf("core: admission rejected (%s)", d)
 		}
 		e.Metrics.Counter("rqp_wlm_admitted_total").Inc()
+		if lifecycle != nil {
+			lifecycle.SetPhase(obs.PhaseAdmitted)
+		}
 		defer e.Cfg.Admission.Done()
 		if e.Cfg.MemPoolRows > 0 {
 			e.Cfg.Admission.SetMemPool(e.Cfg.MemPoolRows)
@@ -413,6 +478,9 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 	res := &Result{Columns: bq.ProjNames, Trace: trace}
 	var qerrs []float64
 
+	if lifecycle != nil {
+		lifecycle.SetPhase(obs.PhaseRunning)
+	}
 	switch e.Cfg.Policy {
 	case PolicyPOP, PolicyPOPEager:
 		if explainOnly {
@@ -453,6 +521,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 			trace.Event("rio.choice",
 				fmt.Sprintf("robust=%v regret=%.2f sig=%s", choice.Robust, choice.MaxRegret, choice.Sig))
 		}
+		planFP = plan.Fingerprint(root)
 		e.Metrics.Counter("rqp_rio_choices_total", obs.L("robust", fmt.Sprintf("%v", choice.Robust))).Inc()
 		e.maybeMarkParallel(root, ctx)
 		e.maybeMarkVectorized(root, ctx)
@@ -499,6 +568,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 			res.Plan = plan.Explain(root)
 			return res, nil
 		}
+		planFP = plan.Fingerprint(root)
 		e.maybeMarkParallel(root, ctx)
 		e.maybeMarkVectorized(root, ctx)
 		e.maybeRuntimeFilters(root, ctx)

@@ -170,6 +170,7 @@ func (c *countedBatch) NextBatch(b *Batch) (int, error) {
 		c.finish()
 	} else {
 		c.n += float64(n)
+		c.span.AddRows(int64(n))
 	}
 	return n, nil
 }

@@ -264,6 +264,7 @@ func (c *tracedCounted) Next() (types.Row, bool, error) {
 	}
 	if ok {
 		c.n++
+		c.span.AddRows(1)
 		return r, true, nil
 	}
 	c.finish()

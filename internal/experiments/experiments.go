@@ -90,13 +90,15 @@ func Registry() map[string]Runner {
 		"E22": E22UtilityInterference,
 		"E23": E23MemSweep,
 		"E24": E24FilterSweep,
+		"E25": E25DopSweep,
+		"E26": E26VecSweep,
 	}
 }
 
 // IDs returns all experiment ids in order.
 func IDs() []string {
-	ids := make([]string, 0, 24)
-	for i := 1; i <= 24; i++ {
+	ids := make([]string, 0, 26)
+	for i := 1; i <= 26; i++ {
 		ids = append(ids, fmt.Sprintf("E%d", i))
 	}
 	return ids

@@ -25,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	if len(IDs()) != 24 {
-		t.Errorf("expected 24 experiments, got %d", len(IDs()))
+	if len(IDs()) != 26 {
+		t.Errorf("expected 26 experiments, got %d", len(IDs()))
 	}
 }
 
@@ -359,5 +359,50 @@ func TestE23MemSweepMonotoneAndExact(t *testing.T) {
 	}
 	if tight.Units <= loose.Units {
 		t.Errorf("spilling must cost more: tight=%v loose=%v", tight.Units, loose.Units)
+	}
+}
+
+func TestE25DopSweepCostParity(t *testing.T) {
+	r, points, err := DopSweep(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KV["all_exact"] != 1 {
+		t.Errorf("parallel results diverged from serial:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["cost_parity"] != 1 {
+		t.Errorf("parallel cost must equal serial cost at every DOP:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if len(points) != 4 {
+		t.Fatalf("expected the DOP 1/2/4/8 ladder, got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Units != points[0].Units {
+			t.Errorf("DOP %d cost %v != serial %v", p.DOP, p.Units, points[0].Units)
+		}
+		if !p.Match {
+			t.Errorf("DOP %d results differ from serial", p.DOP)
+		}
+	}
+}
+
+func TestE26VecSweepCostParity(t *testing.T) {
+	r, points, err := VecSweep(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KV["all_exact"] != 1 {
+		t.Errorf("vectorized results diverged from row path:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["cost_parity"] != 1 {
+		t.Errorf("vectorized cost must equal row cost per query:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if len(points) != 3 {
+		t.Fatalf("expected Q1/Q3/Q10, got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.RowUnits <= 0 || p.VecUnits != p.RowUnits {
+			t.Errorf("%s: row=%v vec=%v", p.Query, p.RowUnits, p.VecUnits)
+		}
 	}
 }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// queriesResponse is the /queries payload: the live query table plus the
+// recently-completed ring, newest first.
+type queriesResponse struct {
+	Active []ActiveQuery `json:"active"`
+	Recent []QueryRecord `json:"recent"`
+}
+
+// NewDebugMux assembles the engine's introspection endpoints:
+//
+//	/metrics     – the metrics registry in Prometheus text format
+//	/queries     – active queries (with live progress) + completed ring, JSON
+//	/trace/{id}  – one query's span-tree + event-log JSON
+//	/debug/pprof – the standard Go profiler endpoints
+//
+// Either argument may be nil; the corresponding endpoints then report 404.
+// The mux holds only read paths — it is safe to expose while queries run,
+// every handler works from snapshots.
+func NewDebugMux(metrics *Registry, queries *QueryRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if metrics == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, metrics.Expose())
+	})
+	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
+		if queries == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, queriesResponse{Active: queries.Active(), Recent: queries.Recent()})
+	})
+	mux.HandleFunc("GET /trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if queries == nil {
+			http.NotFound(w, r)
+			return
+		}
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad query id", http.StatusBadRequest)
+			return
+		}
+		tr := queries.TraceOf(id)
+		if tr == nil {
+			http.Error(w, "unknown or untraced query", http.StatusNotFound)
+			return
+		}
+		raw, err := tr.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	Addr string // the bound address (resolves ":0" to the real port)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// StartDebugServer binds addr (e.g. ":6060", "127.0.0.1:0") and serves the
+// debug mux on a background goroutine. Callers that never Close it simply
+// let the listener die with the process — the rqpsh/rqpbench opt-in flag
+// path.
+func StartDebugServer(addr string, metrics *Registry, queries *QueryRegistry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(metrics, queries), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close shuts the listener down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -55,16 +55,36 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(
 // Histogram is a fixed-bucket distribution metric. Observations only touch
 // atomics, so the hot path takes no locks.
 type Histogram struct {
-	bounds []float64 // upper bounds, ascending; implicit +Inf last
-	counts []int64   // len(bounds)+1
-	sum    int64     // scaled by histScale
-	n      int64
+	bounds  []float64 // upper bounds, ascending; implicit +Inf last
+	counts  []int64   // len(bounds)+1
+	sum     int64     // scaled by histScale
+	n       int64
+	dropped int64 // rejected non-finite samples
 }
 
+// histScale converts float samples to integer sub-units so _sum can be
+// accumulated with a single atomic add. The conversion bounds the usable
+// sample domain: |v| must stay below MaxInt64/histScale ≈ 9.2e12, and the
+// running sum saturates correctness (wraps) once the *total* crosses the
+// same bound. Every sample source in this engine (cost units, q-errors,
+// latencies in ms) lives many orders of magnitude below that; Observe
+// rejects the one class of input that breaks the invariant instantly —
+// non-finite samples, whose int64 conversion is platform-defined and would
+// corrupt _sum forever.
 const histScale = 1e6
 
-// Observe records one sample.
+// maxHistSample is the largest magnitude a sample may have before its
+// histScale conversion overflows int64.
+const maxHistSample = float64(math.MaxInt64) / histScale
+
+// Observe records one sample. NaN and ±Inf samples (and finite samples so
+// large their scaled value cannot be represented — see histScale) are
+// dropped and counted in Dropped instead of corrupting the running sum.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v > maxHistSample || v < -maxHistSample {
+		atomic.AddInt64(&h.dropped, 1)
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	atomic.AddInt64(&h.counts[i], 1)
 	atomic.AddInt64(&h.sum, int64(v*histScale))
@@ -77,6 +97,40 @@ func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.n) }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return float64(atomic.LoadInt64(&h.sum)) / histScale }
 
+// Dropped returns how many samples were rejected as non-finite or
+// unrepresentable.
+func (h *Histogram) Dropped() int64 { return atomic.LoadInt64(&h.dropped) }
+
+// Quantile estimates the q-th quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket where the
+// cumulative count crosses q·n — the standard Prometheus histogram_quantile
+// estimate, giving p50/p99/p999 without retaining samples. Samples in the
+// overflow (+Inf) bucket clamp to the highest finite bound. Returns NaN
+// when the histogram is empty or q is out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := atomic.LoadInt64(&h.n)
+	if n == 0 || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	rank := q * float64(n)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		c := atomic.LoadInt64(&h.counts[i])
+		if float64(cum+c) >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (b-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Default bucket sets.
 var (
 	// QErrorBuckets covers multiplicative cardinality errors from exact
@@ -84,6 +138,10 @@ var (
 	QErrorBuckets = []float64{1, 1.5, 2, 4, 8, 16, 64, 256, 1024}
 	// CostBuckets covers per-query simulated cost units.
 	CostBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+	// LatencyBuckets covers per-query wall-clock latency in milliseconds,
+	// from sub-millisecond point lookups to multi-second analytics — the
+	// source of the p50/p99/p999 figures the lifecycle layer reports.
+	LatencyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 )
 
 // Registry holds an engine's metric families. Lookups take one short

@@ -181,3 +181,76 @@ func TestRegistryConcurrentSafety(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 4000", n)
 	}
 }
+
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", CostBuckets)
+	h.Observe(10)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), maxHistSample * 2, -maxHistSample * 2} {
+		h.Observe(bad)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1 (bad samples must not be counted)", h.Count())
+	}
+	if h.Sum() != 10 {
+		t.Fatalf("sum = %v, want 10 (a NaN/Inf sample would corrupt it forever)", h.Sum())
+	}
+	if h.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", h.Dropped())
+	}
+	// A finite value near the bound still lands.
+	h.Observe(maxHistSample / 2)
+	if h.Count() != 2 {
+		t.Fatalf("large finite sample rejected: count = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LatencyBuckets)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	// 100 samples uniform in (0, 100]: p50 ≈ 50, p99 ≈ 99.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if p50 := h.Quantile(0.5); p50 < 25 || p50 > 75 {
+		t.Fatalf("p50 = %v, want ≈50", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 75 || p99 > 100 {
+		t.Fatalf("p99 = %v, want ≈99", p99)
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p99 < p50 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v", p50, p99)
+	}
+	if !math.IsNaN(h.Quantile(0)) || !math.IsNaN(h.Quantile(1.5)) {
+		t.Fatal("out-of-range q must be NaN")
+	}
+	// Overflow samples clamp to the highest finite bound.
+	h2 := r.Histogram("of", []float64{1, 2})
+	h2.Observe(1000)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestCountEventsIsCheapAndExact(t *testing.T) {
+	clock := storage.NewClock(storage.DefaultCostModel())
+	tr := NewTrace(clock)
+	for i := 0; i < 1000; i++ {
+		tr.Event("spill.partition", "")
+	}
+	tr.Event("pop.reopt", "")
+	// CountEvents is now a counter lookup, not an O(events) scan; the
+	// counters must stay exact under the maintenance in Event.
+	if got := tr.CountEvents("spill.partition"); got != 1000 {
+		t.Fatalf("CountEvents = %d, want 1000", got)
+	}
+	if got := tr.CountEvents("pop.reopt"); got != 1 {
+		t.Fatalf("CountEvents = %d, want 1", got)
+	}
+	if got := tr.CountEvents("never.seen"); got != 0 {
+		t.Fatalf("CountEvents = %d, want 0", got)
+	}
+}

@@ -3,9 +3,11 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"rqp/internal/plan"
 	"rqp/internal/storage"
@@ -32,6 +34,7 @@ type Span struct {
 	actual   float64 // -1 until finished
 	cost     int64   // inclusive cost, in integer clock sub-units
 	calls    int64   // Next invocations
+	rows     int64   // rows produced so far (atomic; live, unlike actual)
 	finished bool
 	children []*Span
 }
@@ -86,6 +89,25 @@ func (s *Span) AddCall() {
 	s.mu.Lock()
 	s.calls++
 	s.mu.Unlock()
+}
+
+// AddRows counts rows produced so far. Unlike Finish's actual cardinality
+// this is advanced while the operator runs, so live introspection can
+// derive a progress estimate mid-query. Atomic: morsel workers and poll
+// handlers touch it concurrently.
+func (s *Span) AddRows(n int64) { atomic.AddInt64(&s.rows, n) }
+
+// RowsSoFar returns the live produced-row count: the final actual
+// cardinality once the span finished, the running counter before that.
+func (s *Span) RowsSoFar() float64 {
+	s.mu.Lock()
+	if s.finished {
+		a := s.actual
+		s.mu.Unlock()
+		return a
+	}
+	s.mu.Unlock()
+	return float64(atomic.LoadInt64(&s.rows))
 }
 
 // Finish records the observed output cardinality (first call wins).
@@ -158,17 +180,28 @@ type Event struct {
 
 // Trace collects one query's spans and events.
 type Trace struct {
-	mu     sync.Mutex
-	clock  *storage.Clock
-	roots  []*Span
-	spans  map[plan.Node]*Span
-	events []Event
+	mu         sync.Mutex
+	clock      *storage.Clock
+	roots      []*Span
+	spans      map[plan.Node]*Span
+	events     []Event
+	kindCounts map[string]int
+	onEvent    func(kind string)
+}
+
+// SetOnEvent installs an observer invoked (outside the trace lock) with
+// every recorded event kind. The lifecycle registry uses it to flip a
+// query's phase to "spilling" the moment the first spill event lands.
+func (t *Trace) SetOnEvent(fn func(kind string)) {
+	t.mu.Lock()
+	t.onEvent = fn
+	t.mu.Unlock()
 }
 
 // NewTrace returns a trace timestamping events on the given clock (nil is
 // allowed; events are then stamped at 0).
 func NewTrace(clock *storage.Clock) *Trace {
-	return &Trace{clock: clock, spans: map[plan.Node]*Span{}}
+	return &Trace{clock: clock, spans: map[plan.Node]*Span{}, kindCounts: map[string]int{}}
 }
 
 // AddFragment builds a span tree mirroring the plan fragment and registers
@@ -216,7 +249,12 @@ func (t *Trace) Event(kind, detail string) {
 	}
 	t.mu.Lock()
 	t.events = append(t.events, Event{At: at, Kind: kind, Detail: detail})
+	t.kindCounts[kind]++
+	hook := t.onEvent
 	t.mu.Unlock()
+	if hook != nil {
+		hook(kind)
+	}
 }
 
 // Events returns a snapshot of the recorded events.
@@ -227,16 +265,12 @@ func (t *Trace) Events() []Event {
 }
 
 // CountEvents returns how many events of the given kind were recorded.
+// O(1): the per-kind counter is maintained as events land, because hot
+// summary paths consult counts per query.
 func (t *Trace) CountEvents(kind string) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := 0
-	for _, e := range t.events {
-		if e.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return t.kindCounts[kind]
 }
 
 // QErrorGeomean returns the geometric mean q-error over all finished spans
@@ -310,6 +344,60 @@ func renderSpan(sb *strings.Builder, s *Span, depth int) {
 type traceJSON struct {
 	Fragments []spanJSON `json:"fragments"`
 	Events    []Event    `json:"events,omitempty"`
+}
+
+// Progress returns a cheap live progress estimate for the traced query:
+// rows produced so far versus the optimizer's estimated rows, summed over
+// every span (done, total, fraction in [0,1]). The per-span contribution is
+// clamped at the estimate, so cardinality underestimates saturate a span at
+// 100% instead of pushing the fraction past one; a query with no estimated
+// work reports (0, 0, 0). The done figure advances monotonically while the
+// query runs — span row counters only grow.
+func (t *Trace) Progress() (done, total, frac float64) {
+	t.mu.Lock()
+	spans := make([]*Span, 0, len(t.spans))
+	for _, s := range t.spans {
+		spans = append(spans, s)
+	}
+	t.mu.Unlock()
+	for _, s := range spans {
+		est := s.EstRows()
+		if est <= 0 {
+			continue
+		}
+		total += est
+		done += math.Min(s.RowsSoFar(), est)
+	}
+	if total > 0 {
+		frac = done / total
+	}
+	return done, total, frac
+}
+
+// Fingerprint hashes the span trees' shape (operator labels in preorder
+// with structural parentheses) into a stable 16-hex-digit plan fingerprint.
+// Two queries whose plans have the same operators in the same tree shape
+// share a fingerprint regardless of cardinalities or costs — the grouping
+// key the structured query log uses to aggregate by plan. Works for every
+// policy, including progressive execution where fragments accumulate.
+func (t *Trace) Fingerprint() string {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	h := fnv.New64a()
+	for _, r := range roots {
+		fingerprintSpan(h, r)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func fingerprintSpan(h interface{ Write([]byte) (int, error) }, s *Span) {
+	h.Write([]byte(s.Label()))
+	h.Write([]byte{'('})
+	for _, c := range s.Children() {
+		fingerprintSpan(h, c)
+	}
+	h.Write([]byte{')'})
 }
 
 // JSON dumps the trace (span trees plus events) as indented JSON.

@@ -1,0 +1,29 @@
+package plan
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint hashes a physical plan's shape — operator labels in preorder
+// with structural parentheses — into a stable 16-hex-digit identifier. Two
+// plans fingerprint equal exactly when they apply the same operators in the
+// same tree shape; cardinality estimates, costs and runtime annotations do
+// not participate. The structured query log keys completed queries by this
+// value so plan regressions (the optimizer flipping a join order or
+// algorithm for the same statement) surface as a fingerprint change rather
+// than an anonymous cost delta.
+func Fingerprint(n Node) string {
+	h := fnv.New64a()
+	fingerprintNode(h, n)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func fingerprintNode(h interface{ Write([]byte) (int, error) }, n Node) {
+	h.Write([]byte(n.Label()))
+	h.Write([]byte{'('})
+	for _, c := range n.Children() {
+		fingerprintNode(h, c)
+	}
+	h.Write([]byte{')'})
+}
