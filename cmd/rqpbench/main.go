@@ -14,6 +14,7 @@
 //	rqpbench -json -filter-sweep -o BENCH_filter.json
 //	rqpbench -json -dop-sweep -o BENCH_parallel.json     # DOP cost-parity map
 //	rqpbench -json -vec-sweep -o BENCH_vectorized.json   # row-vs-vec parity map
+//	rqpbench -json -columnar-sweep -o BENCH_columnar.json # heap-vs-columnar map
 //	rqpbench -debug-addr :6060   # live /metrics /queries /trace/{id} while running
 //
 // Every -json file embeds a self-describing meta header (timestamp, go
@@ -51,6 +52,8 @@ func main() {
 			"run the parallel cost-parity sweep: suite cost across DOP 1/2/4/8 (must be identical)")
 		vecSweep = flag.Bool("vec-sweep", false,
 			"run the row-vs-vectorized parity sweep: per-query cost on both paths (must be identical)")
+		columnarSweep = flag.Bool("columnar-sweep", false,
+			"run the columnar sweep: heap vs columnar scan cost across encodings and selectivities")
 		debugAddr = flag.String("debug-addr", "",
 			"serve live introspection (/metrics, /queries, /trace/{id}, pprof) on this address while the bench runs")
 	)
@@ -63,7 +66,7 @@ func main() {
 		}
 		return
 	}
-	anySweep := *memSweep || *filterSweep || *dopSweep || *vecSweep
+	anySweep := *memSweep || *filterSweep || *dopSweep || *vecSweep || *columnarSweep
 	ids := experiments.IDs()
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")
@@ -73,15 +76,26 @@ func main() {
 		ids = nil
 	}
 	kind := "probes"
+	nsweeps := 0
+	for _, on := range []bool{*memSweep, *filterSweep, *dopSweep, *vecSweep, *columnarSweep} {
+		if on {
+			nsweeps++
+		}
+	}
 	switch {
-	case *memSweep && !*filterSweep && !*dopSweep && !*vecSweep && *exps == "":
-		kind = "mem-sweep"
-	case *filterSweep && !*memSweep && !*dopSweep && !*vecSweep && *exps == "":
-		kind = "filter-sweep"
-	case *dopSweep && !*memSweep && !*filterSweep && !*vecSweep && *exps == "":
-		kind = "dop-sweep"
-	case *vecSweep && !*memSweep && !*filterSweep && !*dopSweep && *exps == "":
-		kind = "vec-sweep"
+	case nsweeps == 1 && *exps == "":
+		switch {
+		case *memSweep:
+			kind = "mem-sweep"
+		case *filterSweep:
+			kind = "filter-sweep"
+		case *dopSweep:
+			kind = "dop-sweep"
+		case *vecSweep:
+			kind = "vec-sweep"
+		case *columnarSweep:
+			kind = "columnar-sweep"
+		}
 	case anySweep || *exps != "":
 		kind = "mixed"
 	}
@@ -160,6 +174,11 @@ func main() {
 	runSweep("vec-sweep", *vecSweep, func() (*experiments.Report, error) {
 		points, rep, err := bench.RunVecSweep(*scale)
 		result.VecSweep = points
+		return rep, err
+	})
+	runSweep("columnar-sweep", *columnarSweep, func() (*experiments.Report, error) {
+		points, rep, err := bench.RunColumnarSweep(*scale)
+		result.ColumnarSweep = points
 		return rep, err
 	})
 	if *asJSON {

@@ -7,6 +7,7 @@
 //	rqpgen -db tpch -scale 0.5 > tpch.sql
 //	rqpgen -db star
 //	rqpgen -db tpcc -summary
+//	rqpgen -db tpch -columnar       # build column stores, print encodings
 package main
 
 import (
@@ -24,10 +25,12 @@ import (
 
 func main() {
 	var (
-		db      = flag.String("db", "tpch", "database to generate: tpch | star | tpcc")
-		scale   = flag.Float64("scale", 1.0, "scale factor")
-		seed    = flag.Int64("seed", 1, "random seed")
-		summary = flag.Bool("summary", false, "print table summaries instead of SQL")
+		db       = flag.String("db", "tpch", "database to generate: tpch | star | tpcc")
+		scale    = flag.Float64("scale", 1.0, "scale factor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		summary  = flag.Bool("summary", false, "print table summaries instead of SQL")
+		columnar = flag.Bool("columnar", false,
+			"build columnar snapshots and print per-column encoding and compression instead of SQL")
 	)
 	flag.Parse()
 
@@ -60,6 +63,20 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	for _, t := range cat.Tables() {
+		if *columnar {
+			cat.BuildColumnar(t, storage.DefaultColBlock)
+			cs := t.Col()
+			ratio := 1.0
+			if cs.RawBytes() > 0 {
+				ratio = float64(cs.EncodedBytes()) / float64(cs.RawBytes())
+			}
+			fmt.Fprintf(w, "%-16s %8d rows %4d blocks %6d pages  %5.1f%% of raw\n",
+				t.Name, cs.NumRows(), cs.NumBlocks(), cs.TotalPages(nil), 100*ratio)
+			for i, c := range t.Schema {
+				fmt.Fprintf(w, "  %-20s %-6s %s\n", c.Name, strings.ToLower(c.Kind.String()), cs.ColEncoding(i))
+			}
+			continue
+		}
 		if *summary {
 			fmt.Fprintf(w, "%-16s %8d rows %6d pages\n", t.Name, t.Heap.NumRows(), t.Heap.NumPages())
 			continue

@@ -59,6 +59,13 @@ func freshFor(base *bench.Result) (*bench.Result, error) {
 		}
 		fresh.VecSweep = points
 	}
+	if len(base.ColumnarSweep) > 0 {
+		points, _, err := bench.RunColumnarSweep(m.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("columnar-sweep: %w", err)
+		}
+		fresh.ColumnarSweep = points
+	}
 	if len(base.Queries) > 0 {
 		qs, err := bench.ProbeQueries(m.Scale, m.DOP, m.Vec)
 		if err != nil {

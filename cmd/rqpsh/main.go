@@ -41,6 +41,7 @@ func main() {
 		dop       = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
 		vec       = flag.Bool("vec", false, "enable vectorized batch execution with compiled expressions")
 		rf        = flag.Bool("rf", false, "enable runtime join filters (Bloom + bounds pushed into probe-side scans)")
+		columnar  = flag.Bool("columnar", false, "build columnar snapshots for attached tables; optimizer may choose ColScan")
 		mem       = flag.Int("mem", 0, "workspace memory budget in rows (0 = default); operators over budget spill")
 		memShrink = flag.Int("mem-shrink", 0,
 			"inject memory pressure: budget declines from -mem to this floor across grants mid-query")
@@ -86,6 +87,7 @@ func main() {
 	cfg.DOP = *dop
 	cfg.Vec = *vec
 	cfg.RuntimeFilters = *rf
+	cfg.Columnar = *columnar
 	if *mem > 0 {
 		cfg.MemBudgetRows = *mem
 	}

@@ -57,7 +57,7 @@ const ProbeSeed = 42
 // comparable; provenance fields (Timestamp, GoVersion, OS, Arch) are
 // informational.
 type Meta struct {
-	Kind          string  `json:"kind"` // probes | mem-sweep | filter-sweep | dop-sweep | vec-sweep | mixed
+	Kind          string  `json:"kind"` // see KnownKinds for the registry of valid values
 	Timestamp     string  `json:"timestamp"`
 	GoVersion     string  `json:"go_version"`
 	OS            string  `json:"os"`
@@ -88,10 +88,27 @@ func NewMeta(kind string, scale float64, dop int, vec, rf bool, memRows int) Met
 	}
 }
 
+// KnownKinds is the registry of bench-file kinds the regression gate knows
+// how to regenerate and diff. A kind must be registered here when its
+// section lands, or rqpregress would accept the file and then silently
+// compare none of its points — exactly the failure mode the gate exists to
+// prevent. Compare refuses files whose kind is not registered.
+var KnownKinds = map[string]bool{
+	"probes":         true,
+	"mem-sweep":      true,
+	"filter-sweep":   true,
+	"dop-sweep":      true,
+	"vec-sweep":      true,
+	"columnar-sweep": true,
+	"mixed":          true,
+}
+
 // Comparable reports whether two metas describe the same experiment
 // configuration; the error names the first mismatched identity field.
 func (m Meta) Comparable(other Meta) error {
 	switch {
+	case m.Kind != other.Kind:
+		return fmt.Errorf("kind mismatch: %q vs %q", m.Kind, other.Kind)
 	case m.Scale != other.Scale:
 		return fmt.Errorf("scale mismatch: %v vs %v", m.Scale, other.Scale)
 	case m.DOP != other.DOP:
@@ -171,16 +188,30 @@ type VecSweepPoint struct {
 	CostParity  bool    `json:"cost_parity"`
 }
 
+// ColumnarSweepPoint is one rung of the columnar robustness map: the same
+// scan+filter on heap and columnar paths at one encoding x selectivity.
+type ColumnarSweepPoint struct {
+	Encoding      string  `json:"encoding"`
+	Selectivity   float64 `json:"selectivity"`
+	HeapUnits     float64 `json:"heap_units"`
+	ColUnits      float64 `json:"col_units"`
+	Ratio         float64 `json:"ratio"`
+	BlocksSkipped int     `json:"blocks_skipped"`
+	BlocksScanned int     `json:"blocks_scanned"`
+	ResultExact   bool    `json:"result_exact"`
+}
+
 // Result is one bench file: the meta header plus whichever sections the
 // run produced.
 type Result struct {
-	Meta        Meta               `json:"meta"`
-	Experiments []Experiment       `json:"experiments,omitempty"`
-	Queries     []Query            `json:"queries,omitempty"`
-	MemSweep    []MemSweepPoint    `json:"mem_sweep,omitempty"`
-	FilterSweep []FilterSweepPoint `json:"filter_sweep,omitempty"`
-	DopSweep    []DopSweepPoint    `json:"dop_sweep,omitempty"`
-	VecSweep    []VecSweepPoint    `json:"vec_sweep,omitempty"`
+	Meta          Meta                 `json:"meta"`
+	Experiments   []Experiment         `json:"experiments,omitempty"`
+	Queries       []Query              `json:"queries,omitempty"`
+	MemSweep      []MemSweepPoint      `json:"mem_sweep,omitempty"`
+	FilterSweep   []FilterSweepPoint   `json:"filter_sweep,omitempty"`
+	DopSweep      []DopSweepPoint      `json:"dop_sweep,omitempty"`
+	VecSweep      []VecSweepPoint      `json:"vec_sweep,omitempty"`
+	ColumnarSweep []ColumnarSweepPoint `json:"columnar_sweep,omitempty"`
 }
 
 // Load reads and decodes a bench file.
@@ -286,6 +317,24 @@ func RunDopSweep(scale float64) ([]DopSweepPoint, *experiments.Report, error) {
 	for _, p := range points {
 		out = append(out, DopSweepPoint{
 			DOP: p.DOP, CostUnits: p.Units, WallMS: p.WallMS, ResultExact: p.Match,
+		})
+	}
+	return out, rep, nil
+}
+
+// RunColumnarSweep produces the columnar_sweep section.
+func RunColumnarSweep(scale float64) ([]ColumnarSweepPoint, *experiments.Report, error) {
+	rep, points, err := experiments.ColumnarSweep(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]ColumnarSweepPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, ColumnarSweepPoint{
+			Encoding: p.Encoding, Selectivity: p.Sel,
+			HeapUnits: p.HeapUnits, ColUnits: p.ColUnits, Ratio: p.Ratio,
+			BlocksSkipped: p.BlocksSkipped, BlocksScanned: p.BlocksScanned,
+			ResultExact: p.Match,
 		})
 	}
 	return out, rep, nil

@@ -39,6 +39,10 @@ func (v Violation) String() string {
 // base.Meta.Comparable(fresh.Meta) first; Compare itself returns a single
 // meta violation instead of a misleading metric diff when they differ.
 func Compare(base, fresh *Result, tolPct float64) []Violation {
+	if !KnownKinds[base.Meta.Kind] {
+		return []Violation{{Where: "meta", Msg: fmt.Sprintf(
+			"unknown kind %q: not in the gate's kind registry, its sections would be silently skipped", base.Meta.Kind)}}
+	}
 	if err := base.Meta.Comparable(fresh.Meta); err != nil {
 		return []Violation{{Where: "meta", Msg: "not comparable: " + err.Error()}}
 	}
@@ -47,6 +51,7 @@ func Compare(base, fresh *Result, tolPct float64) []Violation {
 	out = append(out, compareFilterSweep(base.FilterSweep, fresh.FilterSweep, tolPct)...)
 	out = append(out, compareDopSweep(base.DopSweep, fresh.DopSweep, tolPct)...)
 	out = append(out, compareVecSweep(base.VecSweep, fresh.VecSweep, tolPct)...)
+	out = append(out, compareColumnarSweep(base.ColumnarSweep, fresh.ColumnarSweep, tolPct)...)
 	out = append(out, compareQueries(base.Queries, fresh.Queries, tolPct)...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Where < out[j].Where })
 	return out
@@ -156,6 +161,30 @@ func compareVecSweep(base, fresh []VecSweepPoint, tol float64) []Violation {
 	return out
 }
 
+func compareColumnarSweep(base, fresh []ColumnarSweepPoint, tol float64) []Violation {
+	var out []Violation
+	type key struct {
+		enc string
+		sel string
+	}
+	byKey := map[key]ColumnarSweepPoint{}
+	for _, p := range fresh {
+		byKey[key{p.Encoding, fmt.Sprintf("%g", p.Selectivity)}] = p
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("columnar_sweep[encoding=%s,selectivity=%g]", b.Encoding, b.Selectivity)
+		f, ok := byKey[key{b.Encoding, fmt.Sprintf("%g", b.Selectivity)}]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".col_units", b.ColUnits, f.ColUnits, tol)
+		out = gateCost(out, where+".heap_units", b.HeapUnits, f.HeapUnits, tol)
+		out = gateExact(out, where+".result_exact", b.ResultExact, f.ResultExact)
+	}
+	return out
+}
+
 func compareQueries(base, fresh []Query, tol float64) []Violation {
 	var out []Violation
 	type key struct {
@@ -212,6 +241,17 @@ func Summary(base, fresh *Result, tolPct float64, violations []Violation) string
 				count++
 				if d > worst {
 					worst, worstWhere = d, fmt.Sprintf("filter_sweep[%g]", b.Selectivity)
+				}
+			}
+		}
+	}
+	for _, b := range base.ColumnarSweep {
+		for _, f := range fresh.ColumnarSweep {
+			if f.Encoding == b.Encoding && f.Selectivity == b.Selectivity && b.ColUnits > 0 {
+				d := (f.ColUnits - b.ColUnits) / b.ColUnits * 100
+				count++
+				if d > worst {
+					worst, worstWhere = d, fmt.Sprintf("columnar_sweep[%s,%g]", b.Encoding, b.Selectivity)
 				}
 			}
 		}

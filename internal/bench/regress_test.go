@@ -24,6 +24,9 @@ func baseResult() *Result {
 		VecSweep: []VecSweepPoint{
 			{Query: "Q1", RowUnits: 300, VecUnits: 300, ResultExact: true, CostParity: true},
 		},
+		ColumnarSweep: []ColumnarSweepPoint{
+			{Encoding: "rle", Selectivity: 0.01, HeapUnits: 500, ColUnits: 10, Ratio: 50, ResultExact: true},
+		},
 		Queries: []Query{
 			{ID: 0, Policy: "classic", Rows: 42, CostUnits: 100},
 		},
@@ -37,6 +40,7 @@ func clone(r *Result) *Result {
 	c.FilterSweep = append([]FilterSweepPoint(nil), r.FilterSweep...)
 	c.DopSweep = append([]DopSweepPoint(nil), r.DopSweep...)
 	c.VecSweep = append([]VecSweepPoint(nil), r.VecSweep...)
+	c.ColumnarSweep = append([]ColumnarSweepPoint(nil), r.ColumnarSweep...)
 	c.Queries = append([]Query(nil), r.Queries...)
 	return &c
 }
@@ -67,13 +71,17 @@ func TestCompareFailsOnInflatedCosts(t *testing.T) {
 		fresh.VecSweep[i].RowUnits *= 1.20
 		fresh.VecSweep[i].VecUnits *= 1.20
 	}
+	for i := range fresh.ColumnarSweep {
+		fresh.ColumnarSweep[i].HeapUnits *= 1.20
+		fresh.ColumnarSweep[i].ColUnits *= 1.20
+	}
 	for i := range fresh.Queries {
 		fresh.Queries[i].CostUnits *= 1.20
 	}
 	violations := Compare(base, fresh, 2.0)
-	// 2 mem points + 1 filter + 2 dop + 2 vec units + 1 probe = 8 cost gates.
-	if len(violations) != 8 {
-		t.Fatalf("violations = %d, want 8:\n%v", len(violations), violations)
+	// 2 mem + 1 filter + 2 dop + 2 vec + 2 columnar units + 1 probe = 10 cost gates.
+	if len(violations) != 10 {
+		t.Fatalf("violations = %d, want 10:\n%v", len(violations), violations)
 	}
 	for _, v := range violations {
 		if v.DeltaPct < 19.9 || v.DeltaPct > 20.1 {
@@ -157,6 +165,49 @@ func TestCompareRefusesMismatchedMeta(t *testing.T) {
 	fresh.Meta.Seed = 7
 	if v := Compare(base, fresh, 2.0); len(v) != 1 || !strings.Contains(v[0].Msg, "seed mismatch") {
 		t.Fatalf("violations = %v, want seed refusal", v)
+	}
+
+	fresh = clone(base)
+	fresh.Meta.Kind = "dop-sweep"
+	if v := Compare(base, fresh, 2.0); len(v) != 1 || !strings.Contains(v[0].Msg, "kind mismatch") {
+		t.Fatalf("violations = %v, want kind refusal", v)
+	}
+}
+
+// TestCompareRefusesUnregisteredKind is the satellite fix's acceptance
+// check: a baseline whose kind is not in KnownKinds must fail loudly
+// instead of being accepted and silently diffing zero points — the failure
+// mode that let a new bench kind bypass the gate.
+func TestCompareRefusesUnregisteredKind(t *testing.T) {
+	base := baseResult()
+	base.Meta.Kind = "flux-sweep"
+	fresh := clone(base)
+	violations := Compare(base, fresh, 2.0)
+	if len(violations) != 1 || violations[0].Where != "meta" ||
+		!strings.Contains(violations[0].Msg, "unknown kind") {
+		t.Fatalf("violations = %v, want a single unknown-kind refusal", violations)
+	}
+	// Every shipped baseline kind must be registered.
+	for _, k := range []string{"probes", "mem-sweep", "filter-sweep", "dop-sweep", "vec-sweep", "columnar-sweep", "mixed"} {
+		if !KnownKinds[k] {
+			t.Fatalf("kind %q missing from registry", k)
+		}
+	}
+}
+
+// TestCompareColumnarSweepGates exercises the columnar section's own
+// gates: exactness decay and missing coverage both fail.
+func TestCompareColumnarSweepGates(t *testing.T) {
+	base := baseResult()
+	fresh := clone(base)
+	fresh.ColumnarSweep[0].ResultExact = false
+	if v := Compare(base, fresh, 2.0); len(v) != 1 || !strings.Contains(v[0].Msg, "exactness lost") {
+		t.Fatalf("violations = %v, want columnar exactness failure", v)
+	}
+	fresh = clone(base)
+	fresh.ColumnarSweep = nil
+	if v := Compare(base, fresh, 2.0); len(v) != 1 || !strings.Contains(v[0].Msg, "missing from fresh run") {
+		t.Fatalf("violations = %v, want columnar coverage failure", v)
 	}
 }
 

@@ -44,12 +44,23 @@ type Table struct {
 	// modCount counts row modifications since the last ANALYZE; automatic
 	// statistics maintenance triggers on it.
 	modCount int64
+	// col is the table's column-major snapshot (see storage.ColumnStore),
+	// nil when the table has not been loaded columnar. Any row modification
+	// drops it: the snapshot is read-optimized and rebuilt by BuildColumnar,
+	// and executors fall back to the heap while it is absent.
+	col atomic.Pointer[storage.ColumnStore]
 }
 
 // ModCount returns modifications since the last ANALYZE.
 func (t *Table) ModCount() int64 { return atomic.LoadInt64(&t.modCount) }
 
-func (t *Table) bumpMods() { atomic.AddInt64(&t.modCount, 1) }
+func (t *Table) bumpMods() {
+	atomic.AddInt64(&t.modCount, 1)
+	t.col.Store(nil) // DML invalidates the columnar snapshot
+}
+
+// Col returns the table's columnar snapshot, or nil when none is current.
+func (t *Table) Col() *storage.ColumnStore { return t.col.Load() }
 
 // ColIndex resolves a column by name within the table.
 func (t *Table) ColIndex(name string) int {
@@ -252,6 +263,21 @@ func (c *Catalog) Update(clk *storage.Clock, t *Table, rid storage.RID, newRow t
 		ix.Tree.Insert(newKey, rid)
 	}
 	return true
+}
+
+// BuildColumnar (re)builds the table's column-major snapshot by scanning the
+// heap, with blockSize values per column block (storage.DefaultColBlock when
+// <= 0). The snapshot is immutable; subsequent DML drops it and queries fall
+// back to the heap until it is rebuilt.
+func (c *Catalog) BuildColumnar(t *Table, blockSize int) *storage.ColumnStore {
+	var rows []types.Row
+	t.Heap.Scan(nil, func(_ storage.RID, r types.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	cs := storage.BuildColumnStore(rows, len(t.Schema), blockSize)
+	t.col.Store(cs)
+	return cs
 }
 
 // AnalyzeTable recomputes statistics for a table by scanning it.

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"rqp/internal/adaptive"
 	"rqp/internal/catalog"
@@ -99,6 +100,12 @@ type Config struct {
 	// selectivity is too low to pay for the membership tests, so the worst
 	// case stays near the unfiltered plan. Results are identical either way.
 	RuntimeFilters bool
+	// Columnar enables column-store access paths: Attach builds a columnar
+	// snapshot (dictionary/RLE/bit-packed blocks with zone maps) for every
+	// catalog table, the optimizer may choose ColScan where it is cheaper,
+	// and executed plans decode only referenced columns. DML invalidates a
+	// table's snapshot (queries fall back to the heap); ANALYZE rebuilds it.
+	Columnar bool
 	// QueryLog, when non-nil, receives one structured record per completed
 	// top-level query (plan fingerprint, cost, q-error geomean, peak memory,
 	// spill/filter/reopt/admission counts) — obs.NewJSONLSink(file) gives
@@ -159,6 +166,12 @@ func Attach(cat *catalog.Catalog, cfg Config) *Engine {
 	}
 	o.Opt.UseFeedback = cfg.LEO
 	o.Opt.GJoinOnly = cfg.GJoinOnly
+	o.Opt.Columnar = cfg.Columnar
+	if cfg.Columnar {
+		for _, t := range cat.Tables() {
+			cat.BuildColumnar(t, storage.DefaultColBlock)
+		}
+	}
 	metrics := obs.NewRegistry()
 	ring := cfg.RecentQueries
 	if ring <= 0 {
@@ -270,6 +283,9 @@ func (e *Engine) execStmt(st sql.Stmt, text string, params []types.Value, explai
 			return nil, fmt.Errorf("core: unknown table %q", s.Table)
 		}
 		e.Cat.AnalyzeTable(t, e.Cfg.HistBuckets)
+		if e.Cfg.Columnar {
+			e.Cat.BuildColumnar(t, storage.DefaultColBlock)
+		}
 		return &Result{}, nil
 	case *sql.InsertStmt:
 		return e.execInsert(s, params)
@@ -525,6 +541,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		e.Metrics.Counter("rqp_rio_choices_total", obs.L("robust", fmt.Sprintf("%v", choice.Robust))).Inc()
 		e.maybeMarkParallel(root, ctx)
 		e.maybeMarkVectorized(root, ctx)
+		e.maybeMarkColumnRefs(root, ctx)
 		e.maybeRuntimeFilters(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
@@ -571,6 +588,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		planFP = plan.Fingerprint(root)
 		e.maybeMarkParallel(root, ctx)
 		e.maybeMarkVectorized(root, ctx)
+		e.maybeMarkColumnRefs(root, ctx)
 		e.maybeRuntimeFilters(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
@@ -643,6 +661,20 @@ func (e *Engine) maybeRuntimeFilters(root plan.Node, ctx *exec.Context) {
 	e.Metrics.Counter("rqp_filter_queries_total").Inc()
 }
 
+// maybeMarkColumnRefs computes referenced-column sets for columnar scans so
+// they decode only the columns the query reads. Idempotent — plan-cache
+// hits re-run it like the other marking passes. POP/progressive plans never
+// pass through here, mirroring maybeMarkParallel.
+func (e *Engine) maybeMarkColumnRefs(root plan.Node, ctx *exec.Context) {
+	if !e.Cfg.Columnar {
+		return
+	}
+	narrowed := plan.MarkColumnRefs(root)
+	if ctx.Trace != nil {
+		ctx.Trace.Event("columnar.plan", fmt.Sprintf("narrowed=%d", narrowed))
+	}
+}
+
 // nodeQErrors collects per-operator q-errors from an executed plan.
 func nodeQErrors(root plan.Node) []float64 {
 	var out []float64
@@ -678,6 +710,13 @@ func (e *Engine) recordQueryMetrics(res *Result, ctx *exec.Context, qerrs []floa
 		m.Gauge("rqp_spill_recursion_depth").Set(float64(maxDepth))
 		if fallbacks > 0 {
 			m.Counter("rqp_spill_merge_fallbacks_total").Add(int64(fallbacks))
+		}
+	}
+	if skipped, scanned := atomic.LoadInt64(&ctx.ColBlocksSkipped), atomic.LoadInt64(&ctx.ColBlocksScanned); skipped+scanned > 0 {
+		m.Counter("rqp_columnar_blocks_skipped").Add(skipped)
+		m.Counter("rqp_columnar_blocks_scanned").Add(scanned)
+		if res.Trace != nil {
+			res.Trace.Event("columnar.summary", fmt.Sprintf("blocks_skipped=%d blocks_scanned=%d", skipped, scanned))
 		}
 	}
 	if ctx.RF != nil {

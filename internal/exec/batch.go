@@ -216,7 +216,11 @@ func buildBatch(n plan.Node, ctx *Context) (BatchOperator, error) {
 	var op BatchOperator
 	switch node := n.(type) {
 	case *plan.ScanNode:
-		op = &batchSeqScan{ctx: ctx, node: node}
+		if node.Columnar {
+			op = &batchColScan{ctx: ctx, node: node}
+		} else {
+			op = &batchSeqScan{ctx: ctx, node: node}
+		}
 	case *plan.FilterNode:
 		child, err := buildBatchChild(node.Kids[0], ctx)
 		if err != nil || child == nil {

@@ -41,6 +41,11 @@ type Context struct {
 	// scans annotated by plan.PlanRuntimeFilters bind and test them. Nil
 	// (the default) disables the feature entirely.
 	RF *RuntimeFilterSet
+	// ColBlocksSkipped and ColBlocksScanned count columnar-scan block
+	// outcomes across the query (zone-map or runtime-filter prunes vs.
+	// decoded blocks). Atomics: morsel workers update them concurrently.
+	ColBlocksSkipped int64
+	ColBlocksScanned int64
 }
 
 // NewContext returns a context over a fresh clock and an effectively
@@ -322,6 +327,8 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 	case *plan.ScanNode:
 		if ctx.parallelEligible(&node.Prop) {
 			op = &parallelScan{ctx: ctx, node: node}
+		} else if node.Columnar {
+			op = &colScan{ctx: ctx, node: node}
 		} else {
 			op = &seqScan{ctx: ctx, node: node}
 		}

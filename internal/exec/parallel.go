@@ -58,14 +58,20 @@ func compilePred(ctx *Context, e expr.Expr) *expr.Pred {
 	return expr.CompilePredicate(e)
 }
 
-// scanMorsel reads one page-range morsel of a table, charging clk exactly
-// as the serial scan would (one sequential read per page, CPU per examined
-// row), and hands rows passing the filter to emit. pred, when non-nil, is
-// the compiled form of node.Filter; rf, when non-nil, is the scan's bound
+// scanMorsel reads one morsel of a table, charging clk exactly as the
+// serial scan would (one sequential read per page, CPU per examined row),
+// and hands rows passing the filter to emit. pred, when non-nil, is the
+// compiled form of node.Filter; rf, when non-nil, is the scan's bound
 // runtime-filter consumer (rejects pay only the membership test, on the
-// worker's shard clock). The emitted row is the heap's — valid only until
+// worker's shard clock). col, when non-nil, is the scan's columnar core: a
+// morsel is then one column block, scanned through the shared block core
+// with charges identical to the serial columnar scan's. The emitted row is
+// the heap's (or a freshly materialized columnar row) — valid only until
 // the query ends and never to be mutated.
-func scanMorsel(ctx *Context, node *plan.ScanNode, pred *expr.Pred, rf *rfConsumer, m, npages int, clk *storage.Clock, emit func(types.Row) error) error {
+func scanMorsel(ctx *Context, node *plan.ScanNode, pred *expr.Pred, rf *rfConsumer, col *colScanner, m, npages int, clk *storage.Clock, emit func(types.Row) error) error {
+	if col != nil {
+		return col.scanBlock(m, clk, emit)
+	}
 	lo, hi := morselRange(m, MorselPages, npages)
 	var emitErr error
 	for p := lo; p < hi; p++ {
@@ -120,14 +126,14 @@ type parallelScan struct {
 }
 
 func (s *parallelScan) Open() error {
-	npages := s.node.Table.Heap.NumPages()
-	n := morselCount(npages, MorselPages)
-	s.x.reset(n)
 	pred := compilePred(s.ctx, s.node.Filter)
 	rf := bindRuntimeFilters(s.ctx, s.node.RFConsume)
+	col := colScannerFor(s.ctx, s.node, rf)
+	n, npages := scanGeometry(s.node, col)
+	s.x.reset(n)
 	return runMorsels(s.ctx, s.node.Label(), n, s.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
 		rows := getMorselBuf()
-		err := scanMorsel(s.ctx, s.node, pred, rf, m, npages, clk, func(r types.Row) error {
+		err := scanMorsel(s.ctx, s.node, pred, rf, col, m, npages, clk, func(r types.Row) error {
 			rows = append(rows, r)
 			return nil
 		})
@@ -193,6 +199,7 @@ type parallelHashJoin struct {
 	x        exchange
 	scanPred *expr.Pred  // compiled fused-scan filter (vectorized runs)
 	scanRF   *rfConsumer // fused scan's runtime filters, bound after the build
+	scanCol  *colScanner // fused scan's columnar core (nil for heap scans)
 	residual *expr.Pred  // compiled residual (vectorized runs)
 	scratch  sync.Pool   // *probeScratch, reused across morsels
 }
@@ -236,10 +243,12 @@ func (j *parallelHashJoin) openBuild() error {
 
 // bindScanRF binds the fused probe scan's runtime filters once the build has
 // published its own — including the filter this very join produced, which is
-// the common consumer.
+// the common consumer — and resolves the scan's columnar core so block-level
+// pruning sees the bound filters.
 func (j *parallelHashJoin) bindScanRF() {
 	if j.scan != nil {
 		j.scanRF = bindRuntimeFilters(j.ctx, j.scan.RFConsume)
+		j.scanCol = colScannerFor(j.ctx, j.scan, j.scanRF)
 	}
 }
 
@@ -284,11 +293,10 @@ func (j *parallelHashJoin) probeSerialSpill(sink func(types.Row) error) error {
 		return nil
 	}
 	if j.scan != nil {
-		npages := j.scan.Table.Heap.NumPages()
-		n := morselCount(npages, MorselPages)
+		n, npages := scanGeometry(j.scan, j.scanCol)
 		scanned := 0
 		for m := 0; m < n; m++ {
-			err := scanMorsel(j.ctx, j.scan, j.scanPred, j.scanRF, m, npages, j.ctx.Clock, func(lr types.Row) error {
+			err := scanMorsel(j.ctx, j.scan, j.scanPred, j.scanRF, j.scanCol, m, npages, j.ctx.Clock, func(lr types.Row) error {
 				scanned++
 				return probeRow(lr)
 			})
@@ -492,8 +500,7 @@ func (j *parallelHashJoin) probe() error {
 		return nil
 	}
 	if j.scan != nil {
-		npages := j.scan.Table.Heap.NumPages()
-		n := morselCount(npages, MorselPages)
+		n, npages := scanGeometry(j.scan, j.scanCol)
 		j.x.reset(n)
 		var scanned int64
 		err := runMorsels(j.ctx, j.node.Label()+" probe", n, j.dop, func(m int, clk *storage.Clock) (int, error) {
@@ -501,7 +508,7 @@ func (j *parallelHashJoin) probe() error {
 			defer j.putScratch(st)
 			out := getMorselBuf()
 			rows := 0
-			err := scanMorsel(j.ctx, j.scan, j.scanPred, j.scanRF, m, npages, clk, func(lr types.Row) error {
+			err := scanMorsel(j.ctx, j.scan, j.scanPred, j.scanRF, j.scanCol, m, npages, clk, func(lr types.Row) error {
 				rows++
 				return j.probeEach(lr, clk, st, func(r types.Row) error {
 					out = append(out, r.Clone())
@@ -707,17 +714,17 @@ func (a *parallelAgg) Open() error {
 }
 
 func (a *parallelAgg) partialsFromScan() ([]*aggPartial, error) {
-	npages := a.scan.Table.Heap.NumPages()
-	n := morselCount(npages, MorselPages)
-	partials := make([]*aggPartial, n)
 	pred := compilePred(a.ctx, a.scan.Filter)
 	rf := bindRuntimeFilters(a.ctx, a.scan.RFConsume)
+	col := colScannerFor(a.ctx, a.scan, rf)
+	n, npages := scanGeometry(a.scan, col)
+	partials := make([]*aggPartial, n)
 	var scanned int64
 	err := runMorsels(a.ctx, a.node.Label(), n, a.ctx.DOP, func(m int, clk *storage.Clock) (int, error) {
 		p := newAggPartial()
 		key := make([]types.Value, len(a.node.GroupExprs))
 		rows := 0
-		err := scanMorsel(a.ctx, a.scan, pred, rf, m, npages, clk, func(r types.Row) error {
+		err := scanMorsel(a.ctx, a.scan, pred, rf, col, m, npages, clk, func(r types.Row) error {
 			rows++
 			return a.accumRow(p, r, key, clk)
 		})
@@ -767,8 +774,7 @@ func (a *parallelAgg) partialsFromJoin() ([]*aggPartial, error) {
 	}
 	var partials []*aggPartial
 	if jn.scan != nil {
-		npages := jn.scan.Table.Heap.NumPages()
-		n := morselCount(npages, MorselPages)
+		n, npages := scanGeometry(jn.scan, jn.scanCol)
 		partials = make([]*aggPartial, n)
 		var scanned int64
 		err := runMorsels(a.ctx, a.node.Label(), n, jn.dop, func(m int, clk *storage.Clock) (int, error) {
@@ -778,7 +784,7 @@ func (a *parallelAgg) partialsFromJoin() ([]*aggPartial, error) {
 			key := make([]types.Value, len(a.node.GroupExprs))
 			sink := accum(p, key, clk)
 			rows := 0
-			err := scanMorsel(a.ctx, jn.scan, jn.scanPred, jn.scanRF, m, npages, clk, func(lr types.Row) error {
+			err := scanMorsel(a.ctx, jn.scan, jn.scanPred, jn.scanRF, jn.scanCol, m, npages, clk, func(lr types.Row) error {
 				rows++
 				return jn.probeEach(lr, clk, st, sink)
 			})

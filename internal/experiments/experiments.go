@@ -92,13 +92,14 @@ func Registry() map[string]Runner {
 		"E24": E24FilterSweep,
 		"E25": E25DopSweep,
 		"E26": E26VecSweep,
+		"E27": E27ColumnarSweep,
 	}
 }
 
 // IDs returns all experiment ids in order.
 func IDs() []string {
-	ids := make([]string, 0, 26)
-	for i := 1; i <= 26; i++ {
+	ids := make([]string, 0, 27)
+	for i := 1; i <= 27; i++ {
 		ids = append(ids, fmt.Sprintf("E%d", i))
 	}
 	return ids

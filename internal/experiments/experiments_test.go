@@ -25,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	if len(IDs()) != 26 {
-		t.Errorf("expected 26 experiments, got %d", len(IDs()))
+	if len(IDs()) != 27 {
+		t.Errorf("expected 27 experiments, got %d", len(IDs()))
 	}
 }
 
@@ -403,6 +403,34 @@ func TestE26VecSweepCostParity(t *testing.T) {
 	for _, p := range points {
 		if p.RowUnits <= 0 || p.VecUnits != p.RowUnits {
 			t.Errorf("%s: row=%v vec=%v", p.Query, p.RowUnits, p.VecUnits)
+		}
+	}
+}
+
+func TestE27ColumnarSweepWinsAndBoundsOverhead(t *testing.T) {
+	r, points, err := ColumnarSweep(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KV["all_exact"] != 1 {
+		t.Errorf("columnar results diverged from heap path:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["selective_1_5x"] != 1 {
+		t.Errorf("selective scans (<=10%% selectivity) must be at least 1.5x cheaper:\n%s",
+			strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["fullscan_bounded"] != 1 {
+		t.Errorf("full scans must stay within 5%% of heap cost:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if len(points) != 12 {
+		t.Fatalf("expected 3 encodings x 4 selectivities, got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Sel < 1 && p.BlocksSkipped == 0 {
+			t.Errorf("%s sel=%g: zone maps skipped nothing", p.Encoding, p.Sel)
+		}
+		if p.Sel >= 1 && p.BlocksSkipped != 0 {
+			t.Errorf("%s sel=%g: full scan skipped %d blocks", p.Encoding, p.Sel, p.BlocksSkipped)
 		}
 	}
 }

@@ -150,6 +150,23 @@ func ExtractInterval(e Expr, params []types.Value) (Interval, bool) {
 	return iv, true
 }
 
+// SplitColConst recognizes a `col ⋈ literal` comparison conjunct (either
+// orientation; literals may be constants or bound parameters) and returns the
+// column index, the operator normalized so the column reads on the left, and
+// the literal value. Columnar scans push these onto encoded blocks and zone
+// maps.
+func SplitColConst(e Expr, params []types.Value) (col int, op Op, v types.Value, ok bool) {
+	b, bok := e.(*Bin)
+	if !bok || !b.Op.IsComparison() {
+		return 0, OpInvalid, types.Null(), false
+	}
+	c, lit, nop, sok := splitColLiteral(b, params)
+	if !sok {
+		return 0, OpInvalid, types.Null(), false
+	}
+	return c.Index, nop, lit, true
+}
+
 func splitColLiteral(b *Bin, params []types.Value) (*Col, types.Value, Op, bool) {
 	resolve := func(e Expr) (types.Value, bool) {
 		switch n := e.(type) {

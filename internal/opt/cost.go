@@ -19,6 +19,34 @@ func (o *Optimizer) costSeqScan(tablePages, tableRows float64) float64 {
 	return tablePages*o.CM.SeqPageRead + tableRows*o.CM.RowCPU
 }
 
+// costColScan models the columnar access path: one zone check per block per
+// pushed col⋈const conjunct, encoded pages and encoded predicate evaluation
+// scaled by the fraction of blocks expected to survive zone pruning, and
+// per-row CPU for the surviving rows. readFrac assumes clustered data — the
+// fraction of blocks read tracks selectivity, floored at one block — which
+// is the optimistic end; unclustered values make zone maps useless and the
+// scan degrades to reading every (still compressed) block. With no pushed
+// conjunct nothing can be skipped and every encoded page is read.
+func (o *Optimizer) costColScan(nblocks, encPages, tableRows, outRows float64, npushed int) float64 {
+	readFrac := 1.0
+	c := 0.0
+	if npushed > 0 && nblocks > 0 {
+		c += nblocks * o.CM.ZoneCheck * float64(npushed)
+		sel := 1.0
+		if tableRows > 0 {
+			sel = outRows / tableRows
+		}
+		readFrac = math.Max(sel, 1/nblocks)
+		if readFrac > 1 {
+			readFrac = 1
+		}
+	}
+	c += readFrac * encPages * o.CM.SeqPageRead
+	c += readFrac * tableRows * o.CM.FilterTest * float64(npushed)
+	c += outRows * o.CM.RowCPU
+	return c
+}
+
 // costIndexScan: descend the tree, walk matching leaves, fetch each match
 // from the heap by RID (random I/O) and evaluate residuals.
 func (o *Optimizer) costIndexScan(height float64, matchRows, tableRows float64) float64 {

@@ -52,6 +52,10 @@ type Options struct {
 	// applicable, regardless of cost — the deliberately fragile policy the
 	// smoothness ablation compares against.
 	ForceIndexScans bool
+	// Columnar admits columnar access paths: tables carrying a column-store
+	// snapshot may be scanned by ColScan, with zone-map block-skipping and
+	// compression savings credited into the estimate.
+	Columnar bool
 }
 
 // DefaultOptions is a sensible classic configuration.

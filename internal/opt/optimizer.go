@@ -181,6 +181,30 @@ func (o *Optimizer) bestAccessPath(qi *queryInfo, i int) entry {
 	best.node = scan
 	best.cost = scan.Prop.EstCost
 
+	// Columnar path: available when the session enabled it and the table
+	// carries a current column-store snapshot. Pushable col⋈const conjuncts
+	// evaluate on encoded blocks and enable zone-map skipping, credited into
+	// the estimate by costColScan.
+	if o.Opt.Columnar {
+		if cs := ri.rel.Table.Col(); cs != nil {
+			npushed := 0
+			for _, f := range ri.filters {
+				if _, _, v, ok := expr.SplitColConst(f, qi.params); ok && !v.IsNull() {
+					npushed++
+				}
+			}
+			cost := o.costColScan(float64(cs.NumBlocks()), float64(cs.TotalPages(nil)), ri.rel.Rows, ri.card, npushed)
+			if cost < best.cost {
+				cscan := &plan.ScanNode{Table: ri.rel.Table, Alias: ri.rel.Alias, Filter: filter, Columnar: true}
+				cscan.Out = ri.rel.Schema
+				cscan.Title = fmt.Sprintf("ColScan(%s)", ri.rel.Alias)
+				cscan.Prop = plan.Props{EstRows: ri.card, EstCost: cost, ActualRows: -1, Signature: ri.signature}
+				best.node = cscan
+				best.cost = cost
+			}
+		}
+	}
+
 	if o.Opt.NoIndexScans || ri.rel.Table == nil {
 		return best
 	}

@@ -127,6 +127,15 @@ type ScanNode struct {
 	// RFConsume lists runtime join filters this scan tests rows against
 	// (set by PlanRuntimeFilters).
 	RFConsume []RFilterSpec
+	// Columnar selects the column-store access path (set by the optimizer
+	// when the table carries a columnar snapshot). The executor falls back
+	// to the heap when the snapshot has been invalidated by DML since
+	// planning — results are identical either way.
+	Columnar bool
+	// NeedCols lists the table columns the query actually references
+	// (sorted; nil = all). Set by MarkColumnRefs; columnar scans decode only
+	// these and leave the rest NULL, which no operator above observes.
+	NeedCols []int
 }
 
 // IndexScanNode is a B+ tree range scan. Bounds apply to the index key

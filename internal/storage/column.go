@@ -1,0 +1,599 @@
+package storage
+
+import (
+	"math/bits"
+	"sort"
+
+	"rqp/internal/types"
+)
+
+// Column-major table storage. A ColumnStore is a read-optimized snapshot of
+// a heap: values are split per column into fixed-size blocks (~4K values),
+// each block carries a min/max zone map, and each column picks the cheapest
+// of several encodings — a global sorted dictionary with bit-packed codes
+// for strings (code order equals string order, so string comparisons become
+// integer comparisons), run-length encoding or offset bit-packing for
+// integer-like columns, and raw values as the universal fallback (columns
+// with NULLs or mixed kinds stay raw so the encoded evaluation paths never
+// see a NULL).
+//
+// The simulated pager charges sequential reads against the *encoded* byte
+// size: each column records cumulative byte offsets, and a block's page span
+// is ceil(end/P) − ceil(start/P) with P = PageRows·8·ncols (the same bytes
+// per page the row heap implies at 8 bytes per value). The spans telescope,
+// so the per-column total is exactly ceil(colBytes/P) — no block boundary is
+// double-charged, and a fully scanned column costs the same whether it is
+// read block-by-block or end-to-end.
+
+// DefaultColBlock is the standard number of values per column block.
+const DefaultColBlock = 4096
+
+// CmpOp is a comparison operator for zone pruning and encoded evaluation.
+// The executor maps expression operators onto these so the storage layer
+// stays independent of the expression package.
+type CmpOp uint8
+
+// Comparison operators, mirroring SQL =, <>, <, <=, >, >=.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// cmpTruth returns the operator's truth function over a three-way compare.
+func cmpTruth(op CmpOp) func(int) bool {
+	switch op {
+	case CmpEQ:
+		return func(c int) bool { return c == 0 }
+	case CmpNE:
+		return func(c int) bool { return c != 0 }
+	case CmpLT:
+		return func(c int) bool { return c < 0 }
+	case CmpLE:
+		return func(c int) bool { return c <= 0 }
+	case CmpGT:
+		return func(c int) bool { return c > 0 }
+	default: // CmpGE
+		return func(c int) bool { return c >= 0 }
+	}
+}
+
+// blockEnc tags one block's physical encoding.
+type blockEnc uint8
+
+const (
+	encRaw blockEnc = iota
+	encDict
+	encRLE
+	encPacked
+)
+
+func (e blockEnc) String() string {
+	switch e {
+	case encDict:
+		return "dict"
+	case encRLE:
+		return "rle"
+	case encPacked:
+		return "packed"
+	}
+	return "raw"
+}
+
+// colBlock is one column's slice of blockSize values.
+type colBlock struct {
+	rows int
+	enc  blockEnc
+
+	hasZone  bool // false when every value in the block is NULL
+	min, max types.Value
+
+	raw    []types.Value // encRaw
+	words  []uint64      // encDict / encPacked bit-packed payload
+	base   int64         // encPacked offset base
+	width  int           // encDict / encPacked bits per value
+	runVal []int64       // encRLE run values
+	runLen []int32       // encRLE run lengths
+
+	startByte int64 // cumulative encoded offset within the column
+	bytes     int64 // encoded size of this block
+}
+
+// column is one column's full encoded representation.
+type column struct {
+	kind   types.Kind // uniform value kind for encoded columns
+	dict   []string   // sorted unique values, dictionary columns only
+	blocks []colBlock
+	bytes  int64 // total encoded bytes
+}
+
+// ColumnStore is a column-major, compressed, zone-mapped snapshot of a
+// table. It is immutable after construction and safe for concurrent reads.
+type ColumnStore struct {
+	cols      []column
+	rows      int
+	blockSize int
+	pageBytes int64 // bytes per simulated page: PageRows·8·ncols
+}
+
+// BuildColumnStore encodes rows (each of ncols values) into a column store
+// with the given block size (DefaultColBlock when <= 0).
+func BuildColumnStore(rows []types.Row, ncols, blockSize int) *ColumnStore {
+	if blockSize <= 0 {
+		blockSize = DefaultColBlock
+	}
+	cs := &ColumnStore{
+		cols:      make([]column, ncols),
+		rows:      len(rows),
+		blockSize: blockSize,
+		pageBytes: int64(PageRows) * 8 * int64(ncols),
+	}
+	if cs.pageBytes == 0 {
+		cs.pageBytes = int64(PageRows) * 8
+	}
+	vals := make([]types.Value, len(rows))
+	for c := 0; c < ncols; c++ {
+		for i, r := range rows {
+			if c < len(r) {
+				vals[i] = r[c]
+			} else {
+				vals[i] = types.Null()
+			}
+		}
+		cs.cols[c] = buildColumn(vals, blockSize)
+	}
+	return cs
+}
+
+// encodable classifies a column's values: dictionary for all-string columns,
+// integer encodings for uniform int/date/bool columns, raw otherwise (any
+// NULL or kind mix forces raw so encoded blocks are NULL-free).
+func columnClass(vals []types.Value) (kind types.Kind, ok bool) {
+	kind = types.KindNull
+	for _, v := range vals {
+		if v.IsNull() {
+			return types.KindNull, false
+		}
+		if kind == types.KindNull {
+			kind = v.K
+		} else if v.K != kind {
+			return types.KindNull, false
+		}
+	}
+	if kind == types.KindNull || kind == types.KindFloat {
+		return kind, false
+	}
+	return kind, true
+}
+
+func buildColumn(vals []types.Value, blockSize int) column {
+	col := column{kind: types.KindNull}
+	kind, ok := columnClass(vals)
+	if ok {
+		col.kind = kind
+		if kind == types.KindString {
+			col.dict = buildDict(vals)
+		}
+	}
+	var off int64
+	for start := 0; start < len(vals); start += blockSize {
+		end := start + blockSize
+		if end > len(vals) {
+			end = len(vals)
+		}
+		var blk colBlock
+		switch {
+		case !ok:
+			blk = encodeRaw(vals[start:end])
+		case kind == types.KindString:
+			blk = encodeDict(vals[start:end], col.dict)
+		default:
+			blk = encodeInts(vals[start:end], kind)
+		}
+		blk.startByte = off
+		off += blk.bytes
+		col.blocks = append(col.blocks, blk)
+	}
+	col.bytes = off
+	return col
+}
+
+func buildDict(vals []types.Value) []string {
+	seen := make(map[string]struct{}, 64)
+	for _, v := range vals {
+		seen[v.S] = struct{}{}
+	}
+	dict := make([]string, 0, len(seen))
+	for s := range seen {
+		dict = append(dict, s)
+	}
+	sort.Strings(dict)
+	return dict
+}
+
+func zoneOf(vals []types.Value) (min, max types.Value, ok bool) {
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		if !ok {
+			min, max, ok = v, v, true
+			continue
+		}
+		if types.Compare(v, min) < 0 {
+			min = v
+		}
+		if types.Compare(v, max) > 0 {
+			max = v
+		}
+	}
+	return min, max, ok
+}
+
+func encodeRaw(vals []types.Value) colBlock {
+	blk := colBlock{rows: len(vals), enc: encRaw, bytes: int64(len(vals)) * 8}
+	blk.raw = append([]types.Value(nil), vals...)
+	blk.min, blk.max, blk.hasZone = zoneOf(vals)
+	return blk
+}
+
+func encodeDict(vals []types.Value, dict []string) colBlock {
+	width := bits.Len64(uint64(len(dict)) - 1)
+	if len(dict) <= 1 {
+		width = 0
+	}
+	codes := make([]uint64, len(vals))
+	for i, v := range vals {
+		codes[i] = uint64(sort.SearchStrings(dict, v.S))
+	}
+	blk := colBlock{
+		rows:  len(vals),
+		enc:   encDict,
+		width: width,
+		words: packBits(codes, width),
+		bytes: int64(len(vals)*width+7) / 8,
+	}
+	blk.min, blk.max, blk.hasZone = zoneOf(vals)
+	return blk
+}
+
+// encodeInts picks the smallest of RLE, offset bit-packing and raw for one
+// integer-like block. RLE stores 16 bytes per run (value + length), packing
+// stores an 8-byte base plus width bits per value.
+func encodeInts(vals []types.Value, kind types.Kind) colBlock {
+	n := len(vals)
+	runs := 0
+	lo, hi := vals[0].I, vals[0].I
+	for i, v := range vals {
+		if i == 0 || v.I != vals[i-1].I {
+			runs++
+		}
+		if v.I < lo {
+			lo = v.I
+		}
+		if v.I > hi {
+			hi = v.I
+		}
+	}
+	width := bits.Len64(uint64(hi - lo))
+	rleBytes := int64(runs) * 16
+	packedBytes := 8 + int64(n*width+7)/8
+	rawBytes := int64(n) * 8
+
+	blk := colBlock{rows: n, enc: encRaw, bytes: rawBytes}
+	switch {
+	case rleBytes <= packedBytes && rleBytes <= rawBytes:
+		blk.enc, blk.bytes = encRLE, rleBytes
+		for i, v := range vals {
+			if i == 0 || v.I != vals[i-1].I {
+				blk.runVal = append(blk.runVal, v.I)
+				blk.runLen = append(blk.runLen, 1)
+			} else {
+				blk.runLen[len(blk.runLen)-1]++
+			}
+		}
+	case packedBytes <= rawBytes:
+		blk.enc, blk.bytes = encPacked, packedBytes
+		blk.base, blk.width = lo, width
+		codes := make([]uint64, n)
+		for i, v := range vals {
+			codes[i] = uint64(v.I - lo)
+		}
+		blk.words = packBits(codes, width)
+	default:
+		blk.raw = append([]types.Value(nil), vals...)
+	}
+	blk.min = types.Value{K: kind, I: lo}
+	blk.max = types.Value{K: kind, I: hi}
+	blk.hasZone = true
+	return blk
+}
+
+// packBits packs codes into width-bit fields in little-endian bit order.
+func packBits(codes []uint64, width int) []uint64 {
+	if width == 0 {
+		return nil
+	}
+	words := make([]uint64, (len(codes)*width+63)/64)
+	for i, c := range codes {
+		pos := i * width
+		w, off := pos/64, uint(pos%64)
+		words[w] |= c << off
+		if off+uint(width) > 64 {
+			words[w+1] |= c >> (64 - off)
+		}
+	}
+	return words
+}
+
+// unpackBit extracts the i-th width-bit field.
+func unpackBits(words []uint64, width, i int) uint64 {
+	if width == 0 {
+		return 0
+	}
+	pos := i * width
+	w, off := pos/64, uint(pos%64)
+	v := words[w] >> off
+	if off+uint(width) > 64 {
+		v |= words[w+1] << (64 - off)
+	}
+	return v & (1<<uint(width) - 1)
+}
+
+// ---------- accessors ----------
+
+// NumRows returns the snapshot's row count.
+func (cs *ColumnStore) NumRows() int { return cs.rows }
+
+// NumCols returns the column count.
+func (cs *ColumnStore) NumCols() int { return len(cs.cols) }
+
+// BlockSize returns the values-per-block target.
+func (cs *ColumnStore) BlockSize() int { return cs.blockSize }
+
+// NumBlocks returns how many blocks each column is split into.
+func (cs *ColumnStore) NumBlocks() int {
+	if cs.rows == 0 {
+		return 0
+	}
+	return (cs.rows + cs.blockSize - 1) / cs.blockSize
+}
+
+// BlockRows returns the number of values in block b.
+func (cs *ColumnStore) BlockRows(b int) int {
+	start := b * cs.blockSize
+	n := cs.rows - start
+	if n > cs.blockSize {
+		n = cs.blockSize
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Zone returns block b's min/max over column col. ok is false when the block
+// holds only NULLs (no comparison predicate can match such a block).
+func (cs *ColumnStore) Zone(col, b int) (min, max types.Value, ok bool) {
+	blk := &cs.cols[col].blocks[b]
+	return blk.min, blk.max, blk.hasZone
+}
+
+// PageSpan returns the simulated pages charged to read block b of column
+// col. Spans are derived from cumulative encoded offsets, so they telescope:
+// the sum over all blocks equals ceil(colBytes/pageBytes) exactly.
+func (cs *ColumnStore) PageSpan(col, b int) int {
+	blk := &cs.cols[col].blocks[b]
+	p := cs.pageBytes
+	return int((blk.startByte+blk.bytes+p-1)/p - (blk.startByte+p-1)/p)
+}
+
+// ColPages returns the total encoded pages of one column.
+func (cs *ColumnStore) ColPages(col int) int {
+	return int((cs.cols[col].bytes + cs.pageBytes - 1) / cs.pageBytes)
+}
+
+// TotalPages sums encoded pages over the given columns (all when nil).
+func (cs *ColumnStore) TotalPages(cols []int) int {
+	total := 0
+	if cols == nil {
+		for c := range cs.cols {
+			total += cs.ColPages(c)
+		}
+		return total
+	}
+	for _, c := range cols {
+		total += cs.ColPages(c)
+	}
+	return total
+}
+
+// EncodedBytes returns the store's total encoded size.
+func (cs *ColumnStore) EncodedBytes() int64 {
+	var n int64
+	for i := range cs.cols {
+		n += cs.cols[i].bytes
+	}
+	return n
+}
+
+// RawBytes returns the uncompressed size at the heap's 8 bytes per value.
+func (cs *ColumnStore) RawBytes() int64 {
+	return int64(cs.rows) * int64(len(cs.cols)) * 8
+}
+
+// ColEncoding names column col's encoding: the uniform block encoding when
+// all blocks agree ("dict", "rle", "packed", "raw"), "mixed" otherwise.
+func (cs *ColumnStore) ColEncoding(col int) string {
+	c := &cs.cols[col]
+	if len(c.blocks) == 0 {
+		return "raw"
+	}
+	first := c.blocks[0].enc
+	for i := range c.blocks {
+		if c.blocks[i].enc != first {
+			return "mixed"
+		}
+	}
+	return first.String()
+}
+
+// EvalUnits returns the per-value work charged for evaluating one pushed
+// comparison on block b of column col: the run count for RLE blocks (one
+// comparison decides a whole run), the row count otherwise.
+func (cs *ColumnStore) EvalUnits(col, b int) int {
+	blk := &cs.cols[col].blocks[b]
+	if blk.enc == encRLE {
+		return len(blk.runVal)
+	}
+	return blk.rows
+}
+
+// ZonePrune reports whether `col op v` can match no row of block b, using
+// only the block's zone map. v must be non-NULL. An all-NULL block prunes
+// under every comparison (NULL ⋈ v is never true).
+func (cs *ColumnStore) ZonePrune(col, b int, op CmpOp, v types.Value) bool {
+	blk := &cs.cols[col].blocks[b]
+	if !blk.hasZone {
+		return true
+	}
+	switch op {
+	case CmpEQ:
+		return types.Compare(v, blk.min) < 0 || types.Compare(v, blk.max) > 0
+	case CmpNE:
+		return types.Compare(blk.min, blk.max) == 0 && types.Compare(blk.min, v) == 0
+	case CmpLT:
+		return types.Compare(blk.min, v) >= 0
+	case CmpLE:
+		return types.Compare(blk.min, v) > 0
+	case CmpGT:
+		return types.Compare(blk.max, v) <= 0
+	default: // CmpGE
+		return types.Compare(blk.max, v) < 0
+	}
+}
+
+// EvalBlock narrows keep (len ≥ BlockRows(b)) by `col op v` evaluated
+// directly on block b's encoded form: dictionary codes compare as integers
+// (the dictionary is sorted, so code order is string order), RLE evaluates
+// once per run, bit-packed values decode to the column kind's integer
+// payload. Semantics match the row interpreter exactly, with NULL collapsing
+// to false. v must be non-NULL.
+func (cs *ColumnStore) EvalBlock(col, b int, op CmpOp, v types.Value, keep []bool) {
+	c := &cs.cols[col]
+	blk := &c.blocks[b]
+	truth := cmpTruth(op)
+	switch blk.enc {
+	case encDict:
+		cs.evalDict(c, blk, op, v, keep, truth)
+	case encRLE:
+		i := 0
+		for r, rv := range blk.runVal {
+			t := truth(types.Compare(types.Value{K: c.kind, I: rv}, v))
+			for e := i + int(blk.runLen[r]); i < e; i++ {
+				keep[i] = keep[i] && t
+			}
+		}
+	case encPacked:
+		for i := 0; i < blk.rows; i++ {
+			if !keep[i] {
+				continue
+			}
+			iv := blk.base + int64(unpackBits(blk.words, blk.width, i))
+			keep[i] = truth(types.Compare(types.Value{K: c.kind, I: iv}, v))
+		}
+	default: // encRaw
+		for i := 0; i < blk.rows; i++ {
+			if !keep[i] {
+				continue
+			}
+			rv := blk.raw[i]
+			keep[i] = !rv.IsNull() && truth(types.Compare(rv, v))
+		}
+	}
+}
+
+// evalDict maps a string comparison onto dictionary-code integer compares:
+// lb is the lower bound of v in the sorted dictionary, and each operator
+// reduces to a code-range test (an equality probe for a string absent from
+// the dictionary matches nothing; inequality against it matches everything).
+func (cs *ColumnStore) evalDict(c *column, blk *colBlock, op CmpOp, v types.Value, keep []bool, truth func(int) bool) {
+	if v.K != types.KindString {
+		// Cross-kind comparisons order by kind tag, so one compare decides
+		// the whole block.
+		t := truth(types.Compare(types.Str(""), v))
+		for i := 0; i < blk.rows; i++ {
+			keep[i] = keep[i] && t
+		}
+		return
+	}
+	lb := uint64(sort.SearchStrings(c.dict, v.S))
+	exact := lb < uint64(len(c.dict)) && c.dict[lb] == v.S
+	var pred func(code uint64) bool
+	switch op {
+	case CmpEQ:
+		if !exact {
+			for i := 0; i < blk.rows; i++ {
+				keep[i] = false
+			}
+			return
+		}
+		pred = func(code uint64) bool { return code == lb }
+	case CmpNE:
+		if !exact {
+			return // everything passes
+		}
+		pred = func(code uint64) bool { return code != lb }
+	case CmpLT:
+		pred = func(code uint64) bool { return code < lb }
+	case CmpLE:
+		if exact {
+			pred = func(code uint64) bool { return code <= lb }
+		} else {
+			pred = func(code uint64) bool { return code < lb }
+		}
+	case CmpGT:
+		if exact {
+			pred = func(code uint64) bool { return code > lb }
+		} else {
+			pred = func(code uint64) bool { return code >= lb }
+		}
+	default: // CmpGE
+		pred = func(code uint64) bool { return code >= lb }
+	}
+	for i := 0; i < blk.rows; i++ {
+		if keep[i] {
+			keep[i] = pred(unpackBits(blk.words, blk.width, i))
+		}
+	}
+}
+
+// Decode materializes block b of column col into dst (which must have
+// length ≥ BlockRows(b)), reconstructing values bit-identical to the heap's.
+func (cs *ColumnStore) Decode(col, b int, dst []types.Value) {
+	c := &cs.cols[col]
+	blk := &c.blocks[b]
+	switch blk.enc {
+	case encDict:
+		for i := 0; i < blk.rows; i++ {
+			dst[i] = types.Str(c.dict[unpackBits(blk.words, blk.width, i)])
+		}
+	case encRLE:
+		i := 0
+		for r, rv := range blk.runVal {
+			v := types.Value{K: c.kind, I: rv}
+			for e := i + int(blk.runLen[r]); i < e; i++ {
+				dst[i] = v
+			}
+		}
+	case encPacked:
+		for i := 0; i < blk.rows; i++ {
+			dst[i] = types.Value{K: c.kind, I: blk.base + int64(unpackBits(blk.words, blk.width, i))}
+		}
+	default:
+		copy(dst, blk.raw)
+	}
+}

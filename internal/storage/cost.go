@@ -20,6 +20,7 @@ type CostModel struct {
 	HashProbe    float64 // per-probe hash table work
 	Compare      float64 // per-comparison sort/merge work
 	FilterTest   float64 // per-key runtime-filter membership test (Bloom + bounds)
+	ZoneCheck    float64 // per-block zone-map / block-filter consultation
 }
 
 // DefaultCostModel is the machine every experiment runs on. FilterTest is
@@ -35,6 +36,7 @@ func DefaultCostModel() CostModel {
 		HashProbe:    0.015,
 		Compare:      0.012,
 		FilterTest:   0.002,
+		ZoneCheck:    0.001,
 	}
 }
 
@@ -117,6 +119,16 @@ func (c *Clock) FilterTests(n int) { c.add(c.model.FilterTest * float64(n)) }
 // to n calls of FilterTests(1) — the identity that keeps row and vectorized
 // filter charges bit-identical.
 func (c *Clock) FilterTestsBatch(n int) { c.addBatch(n, c.model.FilterTest) }
+
+// ZoneChecks charges n zone-map (or block-granularity filter) consultations.
+// ZoneCheck is far below even FilterTest: a zone check reads two cached
+// min/max values per block instead of touching per-row data, which is what
+// makes probing every block's statistics cheaper than reading any of them.
+func (c *Clock) ZoneChecks(n int) { c.add(c.model.ZoneCheck * float64(n)) }
+
+// ZoneChecksBatch charges n zone checks, exactly equal to n calls of
+// ZoneChecks(1) — same integer identity as FilterTestsBatch.
+func (c *Clock) ZoneChecksBatch(n int) { c.addBatch(n, c.model.ZoneCheck) }
 
 // Compares charges n comparisons.
 func (c *Clock) Compares(n int) { c.add(c.model.Compare * float64(n)) }
