@@ -8,18 +8,24 @@
 //	rqpbench -scale 0.25     # shrink workloads for a quick pass
 //	rqpbench -list           # list experiments
 //	rqpbench -json           # machine-readable results on stdout
-//	rqpbench -mem-sweep      # memory-degradation robustness map
-//	rqpbench -json -mem-sweep -o BENCH_spill.json
-//	rqpbench -filter-sweep   # runtime-filter selectivity sweep
-//	rqpbench -json -filter-sweep -o BENCH_filter.json
-//	rqpbench -json -dop-sweep -o BENCH_parallel.json     # DOP cost-parity map
-//	rqpbench -json -vec-sweep -o BENCH_vectorized.json   # row-vs-vec parity map
-//	rqpbench -json -columnar-sweep -o BENCH_columnar.json # heap-vs-columnar map
+//	rqpbench -sweep mem-sweep            # memory-degradation robustness map
+//	rqpbench -json -sweep mem-sweep -o BENCH_spill.json
+//	rqpbench -sweep filter-sweep         # runtime-filter selectivity sweep
+//	rqpbench -json -sweep dop-sweep -o BENCH_parallel.json      # DOP cost-parity map
+//	rqpbench -json -sweep vec-sweep -o BENCH_vectorized.json    # row-vs-vec parity map
+//	rqpbench -json -sweep columnar-sweep -o BENCH_columnar.json # heap-vs-columnar map
+//	rqpbench -json -sweep shard-sweep -o BENCH_shard.json       # shard/skew/straggler map
+//	rqpbench -sweep mem-sweep,shard-sweep   # several sweeps in one file
+//	rqpbench -shards 4       # run the traced probes on 4 logical shards
 //	rqpbench -debug-addr :6060   # live /metrics /queries /trace/{id} while running
 //
+// The older per-kind sweep flags (-mem-sweep, -filter-sweep, -dop-sweep,
+// -vec-sweep, -columnar-sweep, -shard-sweep) remain as deprecated aliases
+// for -sweep <kind>.
+//
 // Every -json file embeds a self-describing meta header (timestamp, go
-// version, scale/DOP/vec/rf/memory config, dataset seed) so cmd/rqpregress
-// can refuse apples-to-oranges comparisons.
+// version, scale/DOP/vec/rf/memory/shards config, dataset seed) so
+// cmd/rqpregress can refuse apples-to-oranges comparisons.
 package main
 
 import (
@@ -44,16 +50,23 @@ func main() {
 		noProbes = flag.Bool("no-probes", false, "with -json, skip the per-query traced probes")
 		dop      = flag.Int("dop", 0, "degree of parallelism for traced probes (0/1 serial, -1 all cores)")
 		vec      = flag.Bool("vec", false, "vectorized batch execution for traced probes")
+		shards   = flag.Int("shards", 0, "logical shard count for traced probes (0/1 unsharded)")
+		skew     = flag.Float64("skew", 0,
+			"Zipf key-skew override for the shard sweep (0 = built-in skew ladder)")
+		sweepArg = flag.String("sweep", "",
+			fmt.Sprintf("comma-separated sweep kinds to run; known: %s", strings.Join(bench.SweepKinds(), ", ")))
 		memSweep = flag.Bool("mem-sweep", false,
-			"run the memory-degradation sweep: per-budget cost curves with spill statistics")
+			"deprecated alias for -sweep mem-sweep")
 		filterSweep = flag.Bool("filter-sweep", false,
-			"run the runtime-filter sweep: filtered vs unfiltered join cost across selectivities")
+			"deprecated alias for -sweep filter-sweep")
 		dopSweep = flag.Bool("dop-sweep", false,
-			"run the parallel cost-parity sweep: suite cost across DOP 1/2/4/8 (must be identical)")
+			"deprecated alias for -sweep dop-sweep")
 		vecSweep = flag.Bool("vec-sweep", false,
-			"run the row-vs-vectorized parity sweep: per-query cost on both paths (must be identical)")
+			"deprecated alias for -sweep vec-sweep")
 		columnarSweep = flag.Bool("columnar-sweep", false,
-			"run the columnar sweep: heap vs columnar scan cost across encodings and selectivities")
+			"deprecated alias for -sweep columnar-sweep")
+		shardSweep = flag.Bool("shard-sweep", false,
+			"deprecated alias for -sweep shard-sweep")
 		debugAddr = flag.String("debug-addr", "",
 			"serve live introspection (/metrics, /queries, /trace/{id}, pprof) on this address while the bench runs")
 	)
@@ -66,40 +79,50 @@ func main() {
 		}
 		return
 	}
-	anySweep := *memSweep || *filterSweep || *dopSweep || *vecSweep || *columnarSweep
+
+	// Collect requested sweep kinds: the -sweep list first, then any
+	// deprecated per-kind alias flags, deduplicated in order.
+	var kinds []string
+	seen := map[string]bool{}
+	addKind := func(k string) {
+		k = strings.TrimSpace(k)
+		if k != "" && !seen[k] {
+			seen[k] = true
+			kinds = append(kinds, k)
+		}
+	}
+	for _, k := range strings.Split(*sweepArg, ",") {
+		addKind(k)
+	}
+	for _, alias := range []struct {
+		kind string
+		on   *bool
+	}{
+		{"mem-sweep", memSweep}, {"filter-sweep", filterSweep}, {"dop-sweep", dopSweep},
+		{"vec-sweep", vecSweep}, {"columnar-sweep", columnarSweep}, {"shard-sweep", shardSweep},
+	} {
+		if *alias.on {
+			addKind(alias.kind)
+		}
+	}
+
+	anySweep := len(kinds) > 0
 	ids := experiments.IDs()
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")
 	} else if anySweep {
-		// A sweep flag alone runs just that sweep; combine with -e to add
+		// A sweep alone runs just that sweep; combine with -e to add
 		// experiments.
 		ids = nil
 	}
 	kind := "probes"
-	nsweeps := 0
-	for _, on := range []bool{*memSweep, *filterSweep, *dopSweep, *vecSweep, *columnarSweep} {
-		if on {
-			nsweeps++
-		}
-	}
 	switch {
-	case nsweeps == 1 && *exps == "":
-		switch {
-		case *memSweep:
-			kind = "mem-sweep"
-		case *filterSweep:
-			kind = "filter-sweep"
-		case *dopSweep:
-			kind = "dop-sweep"
-		case *vecSweep:
-			kind = "vec-sweep"
-		case *columnarSweep:
-			kind = "columnar-sweep"
-		}
+	case len(kinds) == 1 && *exps == "":
+		kind = kinds[0]
 	case anySweep || *exps != "":
 		kind = "mixed"
 	}
-	result := bench.Result{Meta: bench.NewMeta(kind, *scale, *dop, *vec, false, 0)}
+	result := bench.Result{Meta: bench.NewMeta(kind, *scale, *dop, *vec, false, 0, *shards, *skew)}
 
 	if *debugAddr != "" {
 		srv, err := bench.StartProbeDebugServer(*debugAddr)
@@ -139,51 +162,23 @@ func main() {
 			fmt.Printf("(%s wall time: %v)\n\n", id, wall.Round(time.Millisecond))
 		}
 	}
-	runSweep := func(name string, enabled bool, run func() (*experiments.Report, error)) {
-		if !enabled {
-			return
-		}
+	for _, k := range kinds {
 		start := time.Now()
-		rep, err := run()
+		rep, err := bench.RunSweep(k, *scale, *skew, &result)
 		wall := time.Since(start)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", k, err)
 			failed++
-			return
+			continue
 		}
 		if !*asJSON {
 			fmt.Println(rep)
-			fmt.Printf("(%s wall time: %v)\n\n", name, wall.Round(time.Millisecond))
+			fmt.Printf("(%s wall time: %v)\n\n", k, wall.Round(time.Millisecond))
 		}
 	}
-	runSweep("mem-sweep", *memSweep, func() (*experiments.Report, error) {
-		points, rep, err := bench.RunMemSweep(*scale)
-		result.MemSweep = points
-		return rep, err
-	})
-	runSweep("filter-sweep", *filterSweep, func() (*experiments.Report, error) {
-		points, rep, err := bench.RunFilterSweep(*scale)
-		result.FilterSweep = points
-		return rep, err
-	})
-	runSweep("dop-sweep", *dopSweep, func() (*experiments.Report, error) {
-		points, rep, err := bench.RunDopSweep(*scale)
-		result.DopSweep = points
-		return rep, err
-	})
-	runSweep("vec-sweep", *vecSweep, func() (*experiments.Report, error) {
-		points, rep, err := bench.RunVecSweep(*scale)
-		result.VecSweep = points
-		return rep, err
-	})
-	runSweep("columnar-sweep", *columnarSweep, func() (*experiments.Report, error) {
-		points, rep, err := bench.RunColumnarSweep(*scale)
-		result.ColumnarSweep = points
-		return rep, err
-	})
 	if *asJSON {
 		if !*noProbes && (!anySweep || *exps != "") {
-			qs, err := bench.ProbeQueries(*scale, *dop, *vec)
+			qs, err := bench.ProbeQueries(*scale, *dop, *vec, *shards)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "query probes failed: %v\n", err)
 				failed++

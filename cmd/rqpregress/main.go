@@ -30,7 +30,7 @@ import (
 // under the baseline's recorded configuration.
 func freshFor(base *bench.Result) (*bench.Result, error) {
 	m := base.Meta
-	fresh := &bench.Result{Meta: bench.NewMeta(m.Kind, m.Scale, m.DOP, m.Vec, m.RF, m.MemBudgetRows)}
+	fresh := &bench.Result{Meta: bench.NewMeta(m.Kind, m.Scale, m.DOP, m.Vec, m.RF, m.MemBudgetRows, m.Shards, m.Skew)}
 	if len(base.MemSweep) > 0 {
 		points, _, err := bench.RunMemSweep(m.Scale)
 		if err != nil {
@@ -66,8 +66,15 @@ func freshFor(base *bench.Result) (*bench.Result, error) {
 		}
 		fresh.ColumnarSweep = points
 	}
+	if len(base.ShardSweep) > 0 {
+		points, _, err := bench.RunShardSweep(m.Scale, m.Skew)
+		if err != nil {
+			return nil, fmt.Errorf("shard-sweep: %w", err)
+		}
+		fresh.ShardSweep = points
+	}
 	if len(base.Queries) > 0 {
-		qs, err := bench.ProbeQueries(m.Scale, m.DOP, m.Vec)
+		qs, err := bench.ProbeQueries(m.Scale, m.DOP, m.Vec, m.Shards)
 		if err != nil {
 			return nil, fmt.Errorf("probes: %w", err)
 		}

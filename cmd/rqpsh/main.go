@@ -31,15 +31,20 @@ import (
 
 func main() {
 	var (
-		db        = flag.String("db", "", "preload a workload database: tpch | star | (empty)")
-		scale     = flag.Float64("scale", 0.5, "workload scale for -db")
-		policy    = flag.String("policy", "classic", "execution policy: classic | pop | pop-eager | rio")
-		mode      = flag.String("estimate", "expected", "estimation mode: expected | percentile | correlated")
-		leo       = flag.Bool("leo", false, "enable LEO execution feedback")
-		cache     = flag.Bool("cache", false, "enable the plan cache (classic policy)")
-		mpl       = flag.Int("mpl", 0, "admission control multiprogramming limit (0 = unlimited)")
-		dop       = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
-		vec       = flag.Bool("vec", false, "enable vectorized batch execution with compiled expressions")
+		db           = flag.String("db", "", "preload a workload database: tpch | star | (empty)")
+		scale        = flag.Float64("scale", 0.5, "workload scale for -db")
+		policy       = flag.String("policy", "classic", "execution policy: classic | pop | pop-eager | rio")
+		mode         = flag.String("estimate", "expected", "estimation mode: expected | percentile | correlated")
+		leo          = flag.Bool("leo", false, "enable LEO execution feedback")
+		cache        = flag.Bool("cache", false, "enable the plan cache (classic policy)")
+		mpl          = flag.Int("mpl", 0, "admission control multiprogramming limit (0 = unlimited)")
+		dop          = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
+		vec          = flag.Bool("vec", false, "enable vectorized batch execution with compiled expressions")
+		shards       = flag.Int("shards", 0, "logical shard count for sharded join execution (0/1 = unsharded)")
+		shuffleForce = flag.String("shuffle-force", "",
+			"override the costed shuffle choice: repartition | broadcast (default: costed)")
+		noHotSplit = flag.Bool("no-hot-split", false,
+			"disable hot-key splitting in sharded joins (skew-robustness ablation)")
 		rf        = flag.Bool("rf", false, "enable runtime join filters (Bloom + bounds pushed into probe-side scans)")
 		columnar  = flag.Bool("columnar", false, "build columnar snapshots for attached tables; optimizer may choose ColScan")
 		mem       = flag.Int("mem", 0, "workspace memory budget in rows (0 = default); operators over budget spill")
@@ -86,6 +91,9 @@ func main() {
 	}
 	cfg.DOP = *dop
 	cfg.Vec = *vec
+	cfg.Shards = *shards
+	cfg.ShuffleForce = *shuffleForce
+	cfg.ShardNoHotSplit = *noHotSplit
 	cfg.RuntimeFilters = *rf
 	cfg.Columnar = *columnar
 	if *mem > 0 {

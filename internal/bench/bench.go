@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -68,11 +69,16 @@ type Meta struct {
 	RF            bool    `json:"rf"`
 	MemBudgetRows int     `json:"mem_budget_rows"`
 	Seed          int64   `json:"seed"`
+	// Shards and Skew pin the sharded-execution configuration: a baseline
+	// produced at one shard count or key skew must not gate a run at
+	// another (the shuffle overhead and makespan are not comparable).
+	Shards int     `json:"shards,omitempty"`
+	Skew   float64 `json:"skew,omitempty"`
 }
 
 // NewMeta stamps a meta header for a run produced right now by this
 // binary.
-func NewMeta(kind string, scale float64, dop int, vec, rf bool, memRows int) Meta {
+func NewMeta(kind string, scale float64, dop int, vec, rf bool, memRows, shards int, skew float64) Meta {
 	return Meta{
 		Kind:          kind,
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
@@ -84,6 +90,8 @@ func NewMeta(kind string, scale float64, dop int, vec, rf bool, memRows int) Met
 		Vec:           vec,
 		RF:            rf,
 		MemBudgetRows: memRows,
+		Shards:        shards,
+		Skew:          skew,
 		Seed:          ProbeSeed,
 	}
 }
@@ -100,6 +108,7 @@ var KnownKinds = map[string]bool{
 	"dop-sweep":      true,
 	"vec-sweep":      true,
 	"columnar-sweep": true,
+	"shard-sweep":    true,
 	"mixed":          true,
 }
 
@@ -121,6 +130,10 @@ func (m Meta) Comparable(other Meta) error {
 		return fmt.Errorf("mem_budget_rows mismatch: %d vs %d", m.MemBudgetRows, other.MemBudgetRows)
 	case m.Seed != other.Seed:
 		return fmt.Errorf("seed mismatch: %d vs %d", m.Seed, other.Seed)
+	case m.Shards != other.Shards:
+		return fmt.Errorf("shards mismatch: %d vs %d", m.Shards, other.Shards)
+	case m.Skew != other.Skew:
+		return fmt.Errorf("skew mismatch: %v vs %v", m.Skew, other.Skew)
 	}
 	return nil
 }
@@ -201,6 +214,29 @@ type ColumnarSweepPoint struct {
 	ResultExact   bool    `json:"result_exact"`
 }
 
+// ShardSweepPoint is one rung of the sharded-execution robustness map: the
+// shard-join workload at one (section, shards, skew, hot-split, workers)
+// configuration. TotalUnits must match the serial cost exactly;
+// MakespanUnits is the derived cluster response time the graceful-
+// degradation curves are about.
+type ShardSweepPoint struct {
+	Section       string  `json:"section"`
+	Shards        int     `json:"shards"`
+	Skew          float64 `json:"skew"`
+	HotSplit      bool    `json:"hot_split"`
+	Mode          string  `json:"mode"`
+	Workers       string  `json:"workers,omitempty"`
+	TotalUnits    float64 `json:"total_units"`
+	MakespanUnits float64 `json:"makespan_units"`
+	WorstShard    float64 `json:"worst_shard_units"`
+	MeanShard     float64 `json:"mean_shard_units"`
+	RowsMoved     int64   `json:"rows_moved"`
+	RowsBroadcast int64   `json:"rows_broadcast"`
+	HotKeys       int64   `json:"hot_keys"`
+	ResultExact   bool    `json:"result_exact"`
+	CostExact     bool    `json:"cost_exact"`
+}
+
 // Result is one bench file: the meta header plus whichever sections the
 // run produced.
 type Result struct {
@@ -212,6 +248,7 @@ type Result struct {
 	DopSweep      []DopSweepPoint      `json:"dop_sweep,omitempty"`
 	VecSweep      []VecSweepPoint      `json:"vec_sweep,omitempty"`
 	ColumnarSweep []ColumnarSweepPoint `json:"columnar_sweep,omitempty"`
+	ShardSweep    []ShardSweepPoint    `json:"shard_sweep,omitempty"`
 }
 
 // Load reads and decodes a bench file.
@@ -230,7 +267,7 @@ func Load(path string) (*Result, error) {
 // ProbeQueries runs a small correlation-trap star workload under each
 // execution policy with tracing enabled and reports per-query cost, reopt
 // count, q-error geomean and plan fingerprint.
-func ProbeQueries(scale float64, dop int, vec bool) ([]Query, error) {
+func ProbeQueries(scale float64, dop int, vec bool, shards int) ([]Query, error) {
 	sc := workload.DefaultStar()
 	sc.FactRows = max(500, int(float64(sc.FactRows)*scale*0.2))
 	sc.DimRows = max(200, int(float64(sc.DimRows)*scale*0.2))
@@ -247,6 +284,7 @@ func ProbeQueries(scale float64, dop int, vec bool) ([]Query, error) {
 		cfg.TraceAll = true
 		cfg.DOP = dop
 		cfg.Vec = vec
+		cfg.Shards = shards
 		eng := core.Attach(cat, cfg)
 		// Report into the shared probe registries so a -debug-addr server
 		// sees every policy engine's queries under one roof.
@@ -354,4 +392,66 @@ func RunVecSweep(scale float64) ([]VecSweepPoint, *experiments.Report, error) {
 		})
 	}
 	return out, rep, nil
+}
+
+// RunShardSweep produces the shard_sweep section. skew > 0 narrows the
+// skew ladder to that single Zipf parameter (and is recorded in Meta so
+// the gate refuses cross-skew comparisons).
+func RunShardSweep(scale, skew float64) ([]ShardSweepPoint, *experiments.Report, error) {
+	rep, points, err := experiments.ShardSweep(scale, skew)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]ShardSweepPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, ShardSweepPoint{
+			Section: p.Section, Shards: p.Shards, Skew: p.Skew,
+			HotSplit: p.HotSplit, Mode: p.Mode, Workers: p.Workers,
+			TotalUnits: p.TotalUnits, MakespanUnits: p.MakespanUnits,
+			WorstShard: p.WorstShard, MeanShard: p.MeanShard,
+			RowsMoved: p.RowsMoved, RowsBroadcast: p.RowsBroadcast,
+			HotKeys: p.HotKeys, ResultExact: p.ResultExact, CostExact: p.CostExact,
+		})
+	}
+	return out, rep, nil
+}
+
+// SweepKinds lists the sweep kinds RunSweep dispatches, sorted — the
+// -sweep flag's registry, derived from KnownKinds so a new section cannot
+// land without the dispatcher (and the gate) knowing it.
+func SweepKinds() []string {
+	var kinds []string
+	for k := range KnownKinds {
+		if k == "probes" || k == "mixed" {
+			continue // not sweeps: produced directly by rqpbench
+		}
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// RunSweep runs one sweep kind by name and stores its section into res.
+// skew only affects the shard sweep. Unknown kinds list the registry in
+// the error.
+func RunSweep(kind string, scale, skew float64, res *Result) (*experiments.Report, error) {
+	var rep *experiments.Report
+	var err error
+	switch kind {
+	case "mem-sweep":
+		res.MemSweep, rep, err = RunMemSweep(scale)
+	case "filter-sweep":
+		res.FilterSweep, rep, err = RunFilterSweep(scale)
+	case "dop-sweep":
+		res.DopSweep, rep, err = RunDopSweep(scale)
+	case "vec-sweep":
+		res.VecSweep, rep, err = RunVecSweep(scale)
+	case "columnar-sweep":
+		res.ColumnarSweep, rep, err = RunColumnarSweep(scale)
+	case "shard-sweep":
+		res.ShardSweep, rep, err = RunShardSweep(scale, skew)
+	default:
+		return nil, fmt.Errorf("unknown sweep kind %q (known: %v)", kind, SweepKinds())
+	}
+	return rep, err
 }

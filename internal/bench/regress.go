@@ -52,6 +52,7 @@ func Compare(base, fresh *Result, tolPct float64) []Violation {
 	out = append(out, compareDopSweep(base.DopSweep, fresh.DopSweep, tolPct)...)
 	out = append(out, compareVecSweep(base.VecSweep, fresh.VecSweep, tolPct)...)
 	out = append(out, compareColumnarSweep(base.ColumnarSweep, fresh.ColumnarSweep, tolPct)...)
+	out = append(out, compareShardSweep(base.ShardSweep, fresh.ShardSweep, tolPct)...)
 	out = append(out, compareQueries(base.Queries, fresh.Queries, tolPct)...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Where < out[j].Where })
 	return out
@@ -185,6 +186,43 @@ func compareColumnarSweep(base, fresh []ColumnarSweepPoint, tol float64) []Viola
 	return out
 }
 
+// compareShardSweep gates the sharded-execution map point by point: the
+// derived makespan and the main-clock total may not regress past
+// tolerance, and the exactness bits (byte-identical rows, integer-exact
+// cost vs serial) may never flip off — they are the signature invariant.
+func compareShardSweep(base, fresh []ShardSweepPoint, tol float64) []Violation {
+	var out []Violation
+	type key struct {
+		section  string
+		shards   int
+		skew     string
+		hotSplit bool
+		mode     string
+		workers  string
+	}
+	mk := func(p ShardSweepPoint) key {
+		return key{p.Section, p.Shards, fmt.Sprintf("%g", p.Skew), p.HotSplit, p.Mode, p.Workers}
+	}
+	byKey := map[key]ShardSweepPoint{}
+	for _, p := range fresh {
+		byKey[mk(p)] = p
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("shard_sweep[section=%s,shards=%d,skew=%g,split=%v,mode=%s]",
+			b.Section, b.Shards, b.Skew, b.HotSplit, b.Mode)
+		f, ok := byKey[mk(b)]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".makespan_units", b.MakespanUnits, f.MakespanUnits, tol)
+		out = gateCost(out, where+".total_units", b.TotalUnits, f.TotalUnits, tol)
+		out = gateExact(out, where+".result_exact", b.ResultExact, f.ResultExact)
+		out = gateExact(out, where+".cost_exact", b.CostExact, f.CostExact)
+	}
+	return out
+}
+
 func compareQueries(base, fresh []Query, tol float64) []Violation {
 	var out []Violation
 	type key struct {
@@ -252,6 +290,19 @@ func Summary(base, fresh *Result, tolPct float64, violations []Violation) string
 				count++
 				if d > worst {
 					worst, worstWhere = d, fmt.Sprintf("columnar_sweep[%s,%g]", b.Encoding, b.Selectivity)
+				}
+			}
+		}
+	}
+	for _, b := range base.ShardSweep {
+		for _, f := range fresh.ShardSweep {
+			if f.Section == b.Section && f.Shards == b.Shards && f.Skew == b.Skew &&
+				f.HotSplit == b.HotSplit && f.Mode == b.Mode && f.Workers == b.Workers &&
+				b.MakespanUnits > 0 {
+				d := (f.MakespanUnits - b.MakespanUnits) / b.MakespanUnits * 100
+				count++
+				if d > worst {
+					worst, worstWhere = d, fmt.Sprintf("shard_sweep[%s,%d,%g]", b.Section, b.Shards, b.Skew)
 				}
 			}
 		}

@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func testMeta() Meta { return NewMeta("mixed", 0.1, 0, false, false, 0) }
+func testMeta() Meta { return NewMeta("mixed", 0.1, 0, false, false, 0, 0, 0) }
 
 func baseResult() *Result {
 	return &Result{
@@ -27,6 +27,12 @@ func baseResult() *Result {
 		ColumnarSweep: []ColumnarSweepPoint{
 			{Encoding: "rle", Selectivity: 0.01, HeapUnits: 500, ColUnits: 10, Ratio: 50, ResultExact: true},
 		},
+		ShardSweep: []ShardSweepPoint{
+			{Section: "uniform", Shards: 4, Mode: "repartition", HotSplit: true,
+				TotalUnits: 1000, MakespanUnits: 400, ResultExact: true, CostExact: true},
+			{Section: "skew", Shards: 4, Skew: 1.3, Mode: "repartition", HotSplit: true,
+				TotalUnits: 2000, MakespanUnits: 900, ResultExact: true, CostExact: true},
+		},
 		Queries: []Query{
 			{ID: 0, Policy: "classic", Rows: 42, CostUnits: 100},
 		},
@@ -41,6 +47,7 @@ func clone(r *Result) *Result {
 	c.DopSweep = append([]DopSweepPoint(nil), r.DopSweep...)
 	c.VecSweep = append([]VecSweepPoint(nil), r.VecSweep...)
 	c.ColumnarSweep = append([]ColumnarSweepPoint(nil), r.ColumnarSweep...)
+	c.ShardSweep = append([]ShardSweepPoint(nil), r.ShardSweep...)
 	c.Queries = append([]Query(nil), r.Queries...)
 	return &c
 }
@@ -223,7 +230,7 @@ func TestSweepsAreDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return &Result{Meta: NewMeta("dop-sweep", 0.05, 0, false, false, 0), DopSweep: points}
+		return &Result{Meta: NewMeta("dop-sweep", 0.05, 0, false, false, 0, 0, 0), DopSweep: points}
 	}
 	a, b := run(), run()
 	if len(a.DopSweep) == 0 {
@@ -239,5 +246,71 @@ func TestSweepsAreDeterministic(t *testing.T) {
 		if p.CostUnits != a.DopSweep[0].CostUnits {
 			t.Fatalf("cost parity broken: DOP %d cost %v vs %v", p.DOP, p.CostUnits, a.DopSweep[0].CostUnits)
 		}
+	}
+}
+
+func TestCompareShardSweep(t *testing.T) {
+	base := baseResult()
+
+	// Makespan regression past tolerance fails.
+	fresh := clone(base)
+	fresh.ShardSweep[0].MakespanUnits *= 1.2
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("20% makespan regression passed a 2% gate")
+	}
+
+	// Exactness decay fails regardless of cost.
+	fresh = clone(base)
+	fresh.ShardSweep[1].CostExact = false
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("cost_exact=false slipped through the gate")
+	}
+	fresh = clone(base)
+	fresh.ShardSweep[1].ResultExact = false
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("result_exact=false slipped through the gate")
+	}
+
+	// A vanished point is shrunken coverage.
+	fresh = clone(base)
+	fresh.ShardSweep = fresh.ShardSweep[:1]
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("missing shard_sweep point passed the gate")
+	}
+}
+
+func TestComparableShardConfig(t *testing.T) {
+	a := testMeta()
+
+	b := testMeta()
+	b.Shards = 4
+	if err := a.Comparable(b); err == nil {
+		t.Fatal("shard-count mismatch must not be comparable")
+	}
+
+	b = testMeta()
+	b.Skew = 1.3
+	if err := a.Comparable(b); err == nil {
+		t.Fatal("skew mismatch must not be comparable")
+	}
+}
+
+func TestSweepKindsRegistry(t *testing.T) {
+	kinds := SweepKinds()
+	want := map[string]bool{"mem-sweep": true, "filter-sweep": true, "dop-sweep": true,
+		"vec-sweep": true, "columnar-sweep": true, "shard-sweep": true}
+	if len(kinds) != len(want) {
+		t.Fatalf("SweepKinds() = %v, want the %d sweep kinds", kinds, len(want))
+	}
+	for _, k := range kinds {
+		if !want[k] {
+			t.Errorf("unexpected sweep kind %q", k)
+		}
+		if !KnownKinds[k] {
+			t.Errorf("sweep kind %q missing from KnownKinds", k)
+		}
+	}
+	if _, err := RunSweep("no-such-sweep", 1, 0, &Result{}); err == nil {
+		t.Error("unknown sweep kind must error")
 	}
 }

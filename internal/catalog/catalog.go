@@ -49,6 +49,11 @@ type Table struct {
 	// drops it: the snapshot is read-optimized and rebuilt by BuildColumnar,
 	// and executors fall back to the heap while it is absent.
 	col atomic.Pointer[storage.ColumnStore]
+	// part is the table's physical hash partitioning (see PartitionTable),
+	// nil when unpartitioned. Row modifications drop it: inserts append to
+	// the heap's tail page, which would break the shard-major page layout
+	// the co-located join path relies on.
+	part atomic.Pointer[Partitioning]
 }
 
 // ModCount returns modifications since the last ANALYZE.
@@ -56,7 +61,8 @@ func (t *Table) ModCount() int64 { return atomic.LoadInt64(&t.modCount) }
 
 func (t *Table) bumpMods() {
 	atomic.AddInt64(&t.modCount, 1)
-	t.col.Store(nil) // DML invalidates the columnar snapshot
+	t.col.Store(nil)  // DML invalidates the columnar snapshot
+	t.part.Store(nil) // ... and the shard-major partitioned layout
 }
 
 // Col returns the table's columnar snapshot, or nil when none is current.

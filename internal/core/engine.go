@@ -106,6 +106,24 @@ type Config struct {
 	// and executed plans decode only referenced columns. DML invalidates a
 	// table's snapshot (queries fall back to the heap); ANALYZE rebuilds it.
 	Columnar bool
+	// Shards partitions SELECT execution across N logical shard "nodes"
+	// (goroutine-backed, network-transparent later): every hash join is
+	// planned with a shuffle exchange — co-located, hash-repartition, or
+	// broadcast — and each shard runs the full local operator stack on its
+	// own child clock. Results and total simulated cost are byte- and
+	// integer-identical to serial execution at any shard count; the cost of
+	// rows crossing shards accumulates in a separate overhead domain
+	// surfaced as Result.Shuffle. 0 or 1 disables sharding.
+	Shards int
+	// ShuffleForce overrides the costed broadcast-vs-repartition choice:
+	// "repartition" or "broadcast" forces that exchange for every sharded
+	// join (co-location still wins when eligible unless forced away).
+	// Empty keeps the planner's costed choice.
+	ShuffleForce string
+	// ShardNoHotSplit disables skew handling: heavy-hitter build keys are
+	// not split across shards even when per-shard row counters detect a
+	// hot shard. Used by benchmarks to measure the skew cliff.
+	ShardNoHotSplit bool
 	// QueryLog, when non-nil, receives one structured record per completed
 	// top-level query (plan fingerprint, cost, q-error geomean, peak memory,
 	// spill/filter/reopt/admission counts) — obs.NewJSONLSink(file) gives
@@ -202,6 +220,10 @@ type Result struct {
 	// Trace is the query's span tree and event log, present when the
 	// statement was EXPLAIN ANALYZE or Config.TraceAll is set.
 	Trace *obs.Trace
+	// Shuffle carries shard/shuffle-exchange statistics when the query ran
+	// with Config.Shards > 1 and at least one join went through the
+	// sharded layer.
+	Shuffle *exec.ShuffleSnapshot
 }
 
 // Exec parses and executes one statement.
@@ -543,6 +565,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		e.maybeMarkVectorized(root, ctx)
 		e.maybeMarkColumnRefs(root, ctx)
 		e.maybeRuntimeFilters(root, ctx)
+		e.maybeMarkSharded(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
@@ -590,6 +613,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		e.maybeMarkVectorized(root, ctx)
 		e.maybeMarkColumnRefs(root, ctx)
 		e.maybeRuntimeFilters(root, ctx)
+		e.maybeMarkSharded(root, ctx)
 		rows, err := exec.Run(root, ctx)
 		if err != nil {
 			return nil, err
@@ -599,6 +623,10 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 		qerrs = nodeQErrors(root)
 	}
 	res.Cost = ctx.Clock.Units()
+	if ctx.Shuffle != nil {
+		s := ctx.Shuffle.Snapshot()
+		res.Shuffle = &s
+	}
 	e.Clock.RowWork(int(res.Cost * 100)) // fold into the engine-lifetime clock
 	if depth == 0 {
 		e.recordQueryMetrics(res, ctx, qerrs)
@@ -675,6 +703,29 @@ func (e *Engine) maybeMarkColumnRefs(root plan.Node, ctx *exec.Context) {
 	}
 }
 
+// maybeMarkSharded plans shuffle exchanges on a plan's hash joins and arms
+// the context with shard count and shuffle stats when the config carries a
+// shard count above one. Idempotent like the other marking passes — the
+// planner re-derives every join's exchange mode from scratch, so plan-cache
+// hits pass through safely. POP/progressive plans never pass through here,
+// mirroring maybeMarkParallel.
+func (e *Engine) maybeMarkSharded(root plan.Node, ctx *exec.Context) {
+	if e.Cfg.Shards <= 1 {
+		return
+	}
+	marked := opt.PlanShuffles(root, e.Cfg.Shards, e.Cfg.ShuffleForce)
+	if marked == 0 {
+		return
+	}
+	ctx.Shards = e.Cfg.Shards
+	ctx.Shuffle = exec.NewShuffleStats(e.Cfg.Shards)
+	ctx.NoHotSplit = e.Cfg.ShardNoHotSplit
+	if ctx.Trace != nil {
+		ctx.Trace.Event("shuffle.plan", fmt.Sprintf("shards=%d marked=%d force=%q", e.Cfg.Shards, marked, e.Cfg.ShuffleForce))
+	}
+	e.Metrics.Counter("rqp_shuffle_queries_total").Inc()
+}
+
 // nodeQErrors collects per-operator q-errors from an executed plan.
 func nodeQErrors(root plan.Node) []float64 {
 	var out []float64
@@ -717,6 +768,22 @@ func (e *Engine) recordQueryMetrics(res *Result, ctx *exec.Context, qerrs []floa
 		m.Counter("rqp_columnar_blocks_scanned").Add(scanned)
 		if res.Trace != nil {
 			res.Trace.Event("columnar.summary", fmt.Sprintf("blocks_skipped=%d blocks_scanned=%d", skipped, scanned))
+		}
+	}
+	if res.Shuffle != nil {
+		s := res.Shuffle
+		m.Counter("rqp_shuffle_rows_moved_total").Add(s.RowsMoved)
+		m.Counter("rqp_shuffle_rows_broadcast_total").Add(s.RowsBroadcast)
+		m.Counter("rqp_shuffle_hot_keys_total").Add(s.HotKeys)
+		m.Counter("rqp_shuffle_hot_probe_dups_total").Add(s.HotProbeDups)
+		m.Counter("rqp_shuffle_degrades_total").Add(s.Degrades)
+		m.Counter("rqp_shuffle_joins_total", obs.L("mode", "colocated")).Add(s.ColocatedJoins)
+		m.Counter("rqp_shuffle_joins_total", obs.L("mode", "repartition")).Add(s.RepartitionJoins)
+		m.Counter("rqp_shuffle_joins_total", obs.L("mode", "broadcast")).Add(s.BroadcastJoins)
+		if res.Trace != nil {
+			res.Trace.Event("shuffle.summary", fmt.Sprintf(
+				"shards=%d moved=%d broadcast=%d hot_keys=%d hot_dups=%d degrades=%d",
+				s.Shards, s.RowsMoved, s.RowsBroadcast, s.HotKeys, s.HotProbeDups, s.Degrades))
 		}
 	}
 	if ctx.RF != nil {

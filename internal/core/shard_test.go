@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rqp/internal/catalog"
+	"rqp/internal/workload"
+)
+
+// shardTestQueries exercises the sharded layer's distinct result shapes:
+// a one-row aggregate, a row-level join with a residual predicate (order
+// sensitive), and a LEFT JOIN (null extension, broadcast/repartition only
+// since hot-split is inner-only anyway).
+var shardTestQueries = []string{
+	"SELECT COUNT(*), SUM(pt.pval) FROM pt, bt WHERE pt.k = bt.k",
+	"SELECT pt.k, bt.bval, pt.pval FROM pt, bt WHERE pt.k = bt.k AND bt.bval < 500",
+	"SELECT pt.k, bt.bval FROM pt LEFT JOIN bt ON pt.k = bt.k",
+}
+
+func rowsKey(res *Result) string {
+	var b strings.Builder
+	for _, r := range res.Rows {
+		for _, v := range r {
+			b.WriteString(v.String())
+			b.WriteByte('|')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func shardTestCatalog(t *testing.T, skew float64) *workload.ShardJoinConfig {
+	t.Helper()
+	cfg := workload.DefaultShardJoin()
+	cfg.BuildRows = 600
+	cfg.ProbeRows = 2400
+	cfg.Keys = 150
+	cfg.Skew = skew
+	return &cfg
+}
+
+// TestShardedExactness is the signature property test: byte-identical rows
+// and integer-exact simulated cost vs. the serial path across shard counts
+// × DOP × vec × memory budgets × shuffle modes. Runtime filters are
+// exercised separately (their adaptive disable is load-order dependent
+// under concurrency, so they stay out of the strict matrix).
+type shardCell struct {
+	skew    float64
+	mode    string
+	memRows int
+	vec     bool
+	dop     int
+	shards  []int
+}
+
+// shardMatrix enumerates the acceptance matrix: shard counts {1,2,4,8} ×
+// row/vec × DOP {1,2,8} × memory budgets (64 rows forces the degrade
+// path), with the forced repartition/broadcast and skewed cells layered on
+// top of the costed default.
+func shardMatrix(short bool) []shardCell {
+	all := []int{1, 2, 4, 8}
+	var cells []shardCell
+	dops := []int{1, 2, 8}
+	if short {
+		all = []int{1, 2, 4}
+		dops = []int{1, 2}
+	}
+	for _, memRows := range []int{1 << 16, 64} {
+		for _, vec := range []bool{false, true} {
+			for _, dop := range dops {
+				cells = append(cells, shardCell{0, "", memRows, vec, dop, all})
+			}
+		}
+	}
+	// Forced exchange modes.
+	for _, mode := range []string{"repartition", "broadcast"} {
+		cells = append(cells,
+			shardCell{0, mode, 1 << 16, false, 1, []int{2, 4}},
+			shardCell{0, mode, 64, false, 2, []int{2, 4}})
+	}
+	// Skewed keys through the hot-split repartition path.
+	cells = append(cells,
+		shardCell{1.4, "repartition", 1 << 16, false, 1, []int{2, 4, 8}},
+		shardCell{1.4, "repartition", 64, false, 1, []int{4}})
+	return cells
+}
+
+func TestShardedExactness(t *testing.T) {
+	built := map[float64]*catalog.Catalog{}
+	for _, cell := range shardMatrix(testing.Short()) {
+		cat, ok := built[cell.skew]
+		if !ok {
+			var err error
+			cat, err = workload.BuildShardJoin(*shardTestCatalog(t, cell.skew))
+			if err != nil {
+				t.Fatal(err)
+			}
+			built[cell.skew] = cat
+		}
+		base := Attach(cat, Config{
+			Policy: PolicyClassic, MemBudgetRows: cell.memRows,
+			HistBuckets: 16, DOP: cell.dop, Vec: cell.vec,
+		})
+		want := make(map[string]*Result, len(shardTestQueries))
+		for _, q := range shardTestQueries {
+			want[q] = base.MustExec(q)
+		}
+		for _, shards := range cell.shards {
+			name := fmt.Sprintf("skew=%.1f/mode=%s/mem=%d/vec=%v/dop=%d/shards=%d",
+				cell.skew, cell.mode, cell.memRows, cell.vec, cell.dop, shards)
+			eng := Attach(cat, Config{
+				Policy: PolicyClassic, MemBudgetRows: cell.memRows,
+				HistBuckets: 16, DOP: cell.dop, Vec: cell.vec,
+				Shards: shards, ShuffleForce: cell.mode,
+			})
+			for _, q := range shardTestQueries {
+				got := eng.MustExec(q)
+				w := want[q]
+				if rowsKey(got) != rowsKey(w) {
+					t.Fatalf("%s %q: rows differ (%d vs %d)", name, q, len(got.Rows), len(w.Rows))
+				}
+				if got.Cost != w.Cost {
+					t.Fatalf("%s %q: cost %v != serial %v", name, q, got.Cost, w.Cost)
+				}
+				if shards > 1 && got.Shuffle == nil {
+					t.Fatalf("%s %q: no shuffle snapshot", name, q)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedColocated verifies the co-located path: both tables
+// partitioned on the join key, zero rows moved, and exactness vs serial on
+// the same (partitioned) physical layout.
+func TestShardedColocated(t *testing.T) {
+	wcfg := shardTestCatalog(t, 0)
+	for _, shards := range []int{2, 4, 8} {
+		cat, err := workload.BuildShardJoin(*wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.PartitionShardJoin(cat, shards); err != nil {
+			t.Fatal(err)
+		}
+		base := Attach(cat, Config{Policy: PolicyClassic, MemBudgetRows: 1 << 16, HistBuckets: 16})
+		eng := Attach(cat, Config{Policy: PolicyClassic, MemBudgetRows: 1 << 16, HistBuckets: 16, Shards: shards})
+		for _, q := range shardTestQueries {
+			w := base.MustExec(q)
+			got := eng.MustExec(q)
+			if rowsKey(got) != rowsKey(w) {
+				t.Fatalf("shards=%d %q: rows differ", shards, q)
+			}
+			if got.Cost != w.Cost {
+				t.Fatalf("shards=%d %q: cost %v != serial %v", shards, q, got.Cost, w.Cost)
+			}
+			if got.Shuffle == nil {
+				t.Fatalf("shards=%d %q: no shuffle snapshot", shards, q)
+			}
+			if got.Shuffle.ColocatedJoins == 0 {
+				t.Errorf("shards=%d %q: expected colocated join, got %+v", shards, q, got.Shuffle)
+			}
+			if got.Shuffle.RowsMoved != 0 || got.Shuffle.RowsBroadcast != 0 {
+				t.Errorf("shards=%d %q: colocated join moved rows: %+v", shards, q, got.Shuffle)
+			}
+		}
+	}
+}
+
+// TestShardedRuntimeFilterSmoke checks results (not strict cost) stay
+// identical with runtime filters on: the adaptive disable makes the filter
+// charge sequence scheduling-dependent, so only the row bytes are pinned.
+func TestShardedRuntimeFilterSmoke(t *testing.T) {
+	wcfg := shardTestCatalog(t, 0)
+	cat, err := workload.BuildShardJoin(*wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Attach(cat, Config{Policy: PolicyClassic, MemBudgetRows: 1 << 16, HistBuckets: 16, RuntimeFilters: true})
+	for _, shards := range []int{2, 4} {
+		eng := Attach(cat, Config{Policy: PolicyClassic, MemBudgetRows: 1 << 16, HistBuckets: 16,
+			RuntimeFilters: true, Shards: shards})
+		for _, q := range shardTestQueries {
+			w := base.MustExec(q)
+			got := eng.MustExec(q)
+			if rowsKey(got) != rowsKey(w) {
+				t.Fatalf("shards=%d %q: rows differ with runtime filters", shards, q)
+			}
+		}
+	}
+}
+
+// TestShardedHotSplitExact pins the skew path: under heavy Zipf skew with
+// hot-key splitting active, results and cost stay exact and the splitter
+// actually fires.
+func TestShardedHotSplitExact(t *testing.T) {
+	wcfg := shardTestCatalog(t, 1.6)
+	cat, err := workload.BuildShardJoin(*wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := shardTestQueries[0]
+	base := Attach(cat, Config{Policy: PolicyClassic, MemBudgetRows: 1 << 16, HistBuckets: 16})
+	w := base.MustExec(q)
+	split := false
+	for _, shards := range []int{4, 8} {
+		eng := Attach(cat, Config{Policy: PolicyClassic, MemBudgetRows: 1 << 16, HistBuckets: 16,
+			Shards: shards, ShuffleForce: "repartition"})
+		got := eng.MustExec(q)
+		if rowsKey(got) != rowsKey(w) || got.Cost != w.Cost {
+			t.Fatalf("shards=%d: skewed join not exact (cost %v vs %v)", shards, got.Cost, w.Cost)
+		}
+		if got.Shuffle != nil && got.Shuffle.HotKeys > 0 {
+			split = true
+		}
+	}
+	if !split {
+		t.Error("expected hot-key splitting to trigger under 1.6 Zipf skew")
+	}
+}

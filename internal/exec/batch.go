@@ -201,11 +201,13 @@ func (c *countedBatch) Close() error {
 }
 
 // vecEligible reports whether build should take the batch path for a node:
-// the context must enable vectorization, execution must be serial (with
-// DOP above one the morsel operators own the hot loops and use compiled
-// expressions instead), and the planner must have marked the node.
+// the context must enable vectorization, execution must be serial and
+// unsharded (with DOP above one the morsel operators own the hot loops and
+// use compiled expressions instead; sharded runs likewise compile their
+// shard-local hot loops — row/vec cost parity makes either path exact),
+// and the planner must have marked the node.
 func (ctx *Context) vecEligible(p *plan.Props) bool {
-	return ctx.Vec && ctx.DOP <= 1 && p.Vectorized
+	return ctx.Vec && ctx.DOP <= 1 && ctx.Shards <= 1 && p.Vectorized
 }
 
 // buildBatch constructs the vectorized operator for a node marked by

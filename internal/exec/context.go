@@ -46,6 +46,18 @@ type Context struct {
 	// decoded blocks). Atomics: morsel workers update them concurrently.
 	ColBlocksSkipped int64
 	ColBlocksScanned int64
+	// Shards is the logical shard ("node") count for sharded scale-out
+	// execution. Above one, Build routes hash joins annotated by
+	// opt.PlanShuffles through the shuffle-exchange operators; zero or one
+	// keeps the unsharded paths.
+	Shards int
+	// Shuffle aggregates shuffle-exchange activity (rows moved/broadcast,
+	// hot-key splits, per-shard cost attribution) for the query. Nil-safe:
+	// nil records nothing.
+	Shuffle *ShuffleStats
+	// NoHotSplit disables skew-triggered hot-key splitting (a bench and
+	// experiment control for measuring the unmitigated skew cliff).
+	NoHotSplit bool
 }
 
 // NewContext returns a context over a fresh clock and an effectively
@@ -349,6 +361,32 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 		}
 		op = &projectOp{ctx: ctx, exprs: node.Exprs, child: child}
 	case *plan.JoinNode:
+		if ctx.shardEligible(node) {
+			sj := &shardedHashJoin{ctx: ctx, node: node}
+			ls, lok := node.Kids[0].(*plan.ScanNode)
+			if rs, rok := node.Kids[1].(*plan.ScanNode); node.Shuffle == plan.ShuffleColocated && lok && rok {
+				// Co-located: both sides scan their own partitions; neither
+				// needs a child operator.
+				sj.scan, sj.buildScan = ls, rs
+			} else {
+				r, err := build(node.Kids[1], ctx)
+				if err != nil {
+					return nil, err
+				}
+				sj.right = r
+				if lok {
+					sj.scan = ls // fuse the probe-side scan into the shard scans
+				} else {
+					l, err := build(node.Kids[0], ctx)
+					if err != nil {
+						return nil, err
+					}
+					sj.left = l
+				}
+			}
+			op = sj
+			break
+		}
 		if ctx.parallelEligible(&node.Prop) && node.Alg == plan.JoinHash {
 			r, err := build(node.Kids[1], ctx)
 			if err != nil {
@@ -400,7 +438,7 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 					pa.scan = kid // fuse the input scan into the aggregation morsels
 				}
 			case *plan.JoinNode:
-				if kid.Prop.Parallel && kid.Alg == plan.JoinHash {
+				if kid.Prop.Parallel && kid.Alg == plan.JoinHash && !ctx.shardEligible(kid) {
 					// Fuse the whole join pipeline: agg morsels run
 					// scan → probe → accumulate without materializing.
 					r, err := build(kid.Kids[1], ctx)

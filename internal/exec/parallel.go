@@ -73,6 +73,14 @@ func scanMorsel(ctx *Context, node *plan.ScanNode, pred *expr.Pred, rf *rfConsum
 		return col.scanBlock(m, clk, emit)
 	}
 	lo, hi := morselRange(m, MorselPages, npages)
+	return scanPageRange(ctx, node, pred, rf, lo, hi, clk, emit)
+}
+
+// scanPageRange scans the heap pages [lo, hi) of a table with the exact
+// serial-scan charge discipline (one sequential read per page, runtime
+// filters before per-row CPU). scanMorsel delegates here; the sharded
+// co-located join path uses it directly with a partition's page range.
+func scanPageRange(ctx *Context, node *plan.ScanNode, pred *expr.Pred, rf *rfConsumer, lo, hi int, clk *storage.Clock, emit func(types.Row) error) error {
 	var emitErr error
 	for p := lo; p < hi; p++ {
 		node.Table.Heap.ScanPage(clk, p, func(_ storage.RID, r types.Row) bool {

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rqp/internal/plan"
+	"rqp/internal/storage"
+)
+
+// Sharded scale-out execution models N logical "nodes" as goroutine-backed
+// shards, each running the full local operator stack, with hash-partition
+// shuffle exchanges between them (see shardjoin.go). Accounting is split
+// into two domains:
+//
+//   - The main clock: the same multiset of charges the serial plan makes,
+//     issued on per-shard child clocks and merged back — so total simulated
+//     cost stays integer-exact regardless of shard count, the repo's
+//     signature invariant.
+//   - The shuffle-overhead domain: NetRow transfer and replica-insert
+//     charges that only exist because rows crossed shards. These accumulate
+//     per shard in ShuffleStats and never touch the main clock.
+//
+// A per-shard makespan (what a real cluster's response time would be) is
+// then derived by the bench layer as the serial prefix plus the slowest
+// shard's main+overhead units.
+
+// shardSkewFactor flags a shard whose routed build-row share exceeds this
+// multiple of the mean — the per-shard row counters' skew trigger. Keys
+// whose build rows alone exceed the mean shard load are then split.
+const shardSkewFactor = 2.0
+
+// shardSeqShift packs (morsel, row-within-morsel) into one monotone
+// sequence tag for the gather merge; no morsel or column block holds 2^20
+// rows.
+const shardSeqShift = 20
+
+// shardEligible reports whether build routes a join through the sharded
+// shuffle layer: the context carries shards and the planner annotated the
+// join (opt.PlanShuffles marks every hash join when sharding is on).
+func (ctx *Context) shardEligible(j *plan.JoinNode) bool {
+	return ctx.Shards > 1 && j.Alg == plan.JoinHash && j.Shuffle != plan.ShuffleNone
+}
+
+// shardStartHook, when non-nil, runs in every shard goroutine before it
+// starts work — a test seam that staggers or randomizes shard start order
+// to shake out ordering assumptions under -race.
+var shardStartHook func(shard int)
+
+// SetShardStartHook installs (or, with nil, clears) the shard-start test
+// seam. Tests only; not safe to change while queries run.
+func SetShardStartHook(fn func(shard int)) { shardStartHook = fn }
+
+// runShards runs fn(0..n-1) on one goroutine per shard and returns the
+// first error by shard index. The shards ARE the scale-out parallelism;
+// within a shard, work runs sequentially on that shard's clock.
+func runShards(n int, fn func(s int) error) error {
+	hook := shardStartHook
+	if n == 1 {
+		if hook != nil {
+			hook(0)
+		}
+		return fn(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if hook != nil {
+				hook(s)
+			}
+			errs[s] = fn(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardRange returns shard s's half-open slice of total items under the
+// contiguous-range assignment — contiguity is what keeps per-shard
+// sequence tags monotone so the gather merge never sorts.
+func shardRange(s, n, total int) (lo, hi int) {
+	return s * total / n, (s + 1) * total / n
+}
+
+// ShuffleStats aggregates shuffle-exchange activity across a query's
+// sharded joins. All methods are nil-safe and atomic: shard goroutines and
+// the coordinator update it concurrently.
+type ShuffleStats struct {
+	shards        int
+	rowsMoved     int64 // probe/build rows that crossed shards (repartition)
+	rowsBroadcast int64 // build-row replicas shipped (broadcast)
+	hotKeys       int64 // build keys split across shards by skew handling
+	hotProbeDups  int64 // probe-row duplicates routed for split keys
+	degrades      int64 // joins that bypassed the shuffle under memory pressure
+	colocated     int64 // joins run with no row movement
+	repartition   int64
+	broadcast     int64
+	shardUnits    []int64 // main-clock units attributed per shard (ClockScale domain)
+	shardExtra    []int64 // shuffle-overhead units per shard (ClockScale domain)
+}
+
+// NewShuffleStats returns stats for a query running on n shards.
+func NewShuffleStats(n int) *ShuffleStats {
+	return &ShuffleStats{shards: n, shardUnits: make([]int64, n), shardExtra: make([]int64, n)}
+}
+
+func (s *ShuffleStats) movedRows(n int64) {
+	if s != nil {
+		atomic.AddInt64(&s.rowsMoved, n)
+	}
+}
+
+func (s *ShuffleStats) broadcastRows(n int64) {
+	if s != nil {
+		atomic.AddInt64(&s.rowsBroadcast, n)
+	}
+}
+
+func (s *ShuffleStats) hotSplit(keys int64) {
+	if s != nil {
+		atomic.AddInt64(&s.hotKeys, keys)
+	}
+}
+
+func (s *ShuffleStats) hotDup(n int64) {
+	if s != nil {
+		atomic.AddInt64(&s.hotProbeDups, n)
+	}
+}
+
+func (s *ShuffleStats) degraded() {
+	if s != nil {
+		atomic.AddInt64(&s.degrades, 1)
+	}
+}
+
+func (s *ShuffleStats) countJoin(mode plan.ShuffleMode) {
+	if s == nil {
+		return
+	}
+	switch mode {
+	case plan.ShuffleColocated:
+		atomic.AddInt64(&s.colocated, 1)
+	case plan.ShuffleBroadcast:
+		atomic.AddInt64(&s.broadcast, 1)
+	default:
+		atomic.AddInt64(&s.repartition, 1)
+	}
+}
+
+// addExtra charges n repetitions of unit into shard's shuffle-overhead
+// domain, with the same float-to-integer truncation identity the main
+// clock's batch charges use.
+func (s *ShuffleStats) addExtra(shard, n int, unit float64) {
+	if s == nil || n == 0 || shard >= len(s.shardExtra) {
+		return
+	}
+	atomic.AddInt64(&s.shardExtra[shard], int64(n)*int64(unit*storage.ClockScale))
+}
+
+// addUnits attributes scaled main-clock units to a shard (called once per
+// join phase with the shard clock's accumulated total).
+func (s *ShuffleStats) addUnits(shard int, scaled int64) {
+	if s == nil || shard >= len(s.shardUnits) {
+		return
+	}
+	atomic.AddInt64(&s.shardUnits[shard], scaled)
+}
+
+// ShuffleSnapshot is a point-in-time copy of ShuffleStats for results,
+// metrics and bench output. ShardUnits is the main-clock cost each shard
+// performed (these sum into the query total); ShardExtra is the overhead
+// cost of rows shipped to that shard, which lives outside the main-clock
+// parity domain.
+type ShuffleSnapshot struct {
+	Shards           int       `json:"shards"`
+	RowsMoved        int64     `json:"rows_moved"`
+	RowsBroadcast    int64     `json:"rows_broadcast"`
+	HotKeys          int64     `json:"hot_keys"`
+	HotProbeDups     int64     `json:"hot_probe_dups"`
+	Degrades         int64     `json:"degrades"`
+	ColocatedJoins   int64     `json:"colocated_joins"`
+	RepartitionJoins int64     `json:"repartition_joins"`
+	BroadcastJoins   int64     `json:"broadcast_joins"`
+	ShardUnits       []float64 `json:"shard_units"`
+	ShardExtra       []float64 `json:"shard_extra"`
+}
+
+// Snapshot copies the stats. Nil-safe: returns a zero snapshot.
+func (s *ShuffleStats) Snapshot() ShuffleSnapshot {
+	if s == nil {
+		return ShuffleSnapshot{}
+	}
+	snap := ShuffleSnapshot{
+		Shards:           s.shards,
+		RowsMoved:        atomic.LoadInt64(&s.rowsMoved),
+		RowsBroadcast:    atomic.LoadInt64(&s.rowsBroadcast),
+		HotKeys:          atomic.LoadInt64(&s.hotKeys),
+		HotProbeDups:     atomic.LoadInt64(&s.hotProbeDups),
+		Degrades:         atomic.LoadInt64(&s.degrades),
+		ColocatedJoins:   atomic.LoadInt64(&s.colocated),
+		RepartitionJoins: atomic.LoadInt64(&s.repartition),
+		BroadcastJoins:   atomic.LoadInt64(&s.broadcast),
+		ShardUnits:       make([]float64, len(s.shardUnits)),
+		ShardExtra:       make([]float64, len(s.shardExtra)),
+	}
+	for i := range s.shardUnits {
+		snap.ShardUnits[i] = float64(atomic.LoadInt64(&s.shardUnits[i])) / storage.ClockScale
+		snap.ShardExtra[i] = float64(atomic.LoadInt64(&s.shardExtra[i])) / storage.ClockScale
+	}
+	return snap
+}

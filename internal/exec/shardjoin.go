@@ -1,0 +1,660 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rqp/internal/expr"
+	"rqp/internal/plan"
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// srow is a routed probe row. seq is its global serial-order tag; main
+// marks the one copy (of a possibly duplicated hot-key row) that pays the
+// serial probe charge on its shard's main clock.
+type srow struct {
+	seq  int64
+	main bool
+	r    types.Row
+}
+
+// brow is a routed build row. idx is its global build-arrival index (the
+// tiebreak the gather merge uses to reproduce serial chain order); own
+// marks the copy whose hash-table insert is charged on the main clock.
+type brow struct {
+	idx int32
+	own bool
+	h   uint64
+	r   types.Row
+}
+
+// orow is one output row tagged for the gather merge: lexicographic
+// (seq, bidx) order is exactly the serial hash join's emission order, for
+// normal and hot-split routing alike.
+type orow struct {
+	seq  int64
+	bidx int32
+	r    types.Row
+}
+
+// shardedHashJoin executes a hash join across ctx.Shards goroutine
+// "nodes", each with its own clock, hash-table shard and contiguous slice
+// of the probe input. The plan's ShuffleMode decides how rows move:
+//
+//   - Repartition: both sides route by join-key hash; per-shard row
+//     counters detect heavy-hitter skew and split hot build keys across
+//     shards with duplicated probe routing.
+//   - Broadcast: the (small) build side replicates to every shard; probe
+//     rows never move.
+//   - Colocated: both sides are physically partitioned on the join key, so
+//     every shard joins its own page ranges and nothing moves.
+//
+// Results are byte-identical to the serial join — output reassembles via a
+// k-way merge on (probe sequence, build index) — and the main-clock charge
+// multiset is exactly the serial one, so total simulated cost is
+// integer-exact at any shard count. Under memory pressure the whole join
+// degrades to the serial spill path (charges still serial-identical).
+type shardedHashJoin struct {
+	ctx       *Context
+	node      *plan.JoinNode
+	scan      *plan.ScanNode // fused probe-side scan (nil when left is set)
+	left      Operator       // probe child when not fused
+	right     Operator       // build child (nil when buildScan is set)
+	buildScan *plan.ScanNode // co-located build-side scan
+
+	n        int
+	mode     plan.ShuffleMode
+	grant    int
+	rWidth   int
+	scanPred *expr.Pred
+	scanRF   *rfConsumer
+	scanCol  *colScanner
+	residual *expr.Pred
+	fallback *parallelHashJoin // degraded path under memory pressure
+	out      []types.Row
+	pos      int
+}
+
+func (j *shardedHashJoin) Open() error {
+	j.n = j.ctx.Shards
+	if j.n < 1 {
+		j.n = 1
+	}
+	j.mode = j.node.Shuffle
+	j.rWidth = len(j.node.Kids[1].Schema())
+	j.residual = compilePred(j.ctx, j.node.Residual)
+	if j.mode == plan.ShuffleColocated && !j.colocatedValid() {
+		// The partitioned layout vanished between planning and execution
+		// (DML drops it); repartitioning is always correct.
+		j.mode = plan.ShuffleRepartition
+	}
+	if j.mode == plan.ShuffleColocated {
+		return j.runColocated()
+	}
+	build, err := j.drainBuild()
+	if err != nil {
+		return err
+	}
+	// Serial-identical runtime-filter derivation and memory negotiation:
+	// drain, publish filters, then one grant — the exact serial sequence,
+	// so scheduled-budget runs negotiate at the same steps.
+	buildRuntimeFilters(j.ctx, j.node, j.ctx.Clock, build)
+	j.grant = j.ctx.Mem.Grant(len(build))
+	if len(build) > j.grant {
+		return j.degrade(build)
+	}
+	j.bindScan()
+	j.ctx.Shuffle.countJoin(j.mode)
+	return j.runShuffled(build)
+}
+
+// colocatedValid re-checks at Open what PlanShuffles established at plan
+// time: both scans' tables still carry matching physical partitionings.
+func (j *shardedHashJoin) colocatedValid() bool {
+	if j.scan == nil || j.buildScan == nil || len(j.node.LeftKeys) != 1 {
+		return false
+	}
+	lp, rp := j.scan.Table.Part(), j.buildScan.Table.Part()
+	return lp != nil && rp != nil &&
+		lp.Shards == j.n && rp.Shards == j.n &&
+		lp.Col == j.node.LeftKeys[0] && rp.Col == j.node.RightKeys[0]
+}
+
+// drainBuild materializes the build side in serial order with serial
+// charges: through the child operator, or — when a planned co-located join
+// degraded at run time and has no build operator — by scanning the build
+// table with seqScan-identical charges.
+func (j *shardedHashJoin) drainBuild() ([]types.Row, error) {
+	if j.right != nil {
+		return drain(j.right)
+	}
+	pred := compilePred(j.ctx, j.buildScan.Filter)
+	rf := bindRuntimeFilters(j.ctx, j.buildScan.RFConsume)
+	var rows []types.Row
+	np := j.buildScan.Table.Heap.NumPages()
+	err := scanPageRange(j.ctx, j.buildScan, pred, rf, 0, np, j.ctx.Clock, func(r types.Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	finishNode(j.ctx, j.buildScan, float64(len(rows)))
+	return rows, nil
+}
+
+// bindScan binds the fused probe scan's runtime filters (after the build
+// published its own) and resolves its columnar core.
+func (j *shardedHashJoin) bindScan() {
+	if j.scan != nil {
+		j.scanPred = compilePred(j.ctx, j.scan.Filter)
+		j.scanRF = bindRuntimeFilters(j.ctx, j.scan.RFConsume)
+		j.scanCol = colScannerFor(j.ctx, j.scan, j.scanRF)
+	}
+}
+
+// degrade routes the whole join through the serial spill machinery when
+// the build exceeded its grant: sharding a workspace that does not fit
+// would multiply pressure, so the robust move is to give the shuffle up
+// for this join and degrade exactly like the unsharded engine does.
+func (j *shardedHashJoin) degrade(build []types.Row) error {
+	j.ctx.Shuffle.degraded()
+	if j.ctx.Trace != nil {
+		j.ctx.Trace.Event("shuffle.degrade", fmt.Sprintf(
+			"build=%d grant=%d: shuffle bypassed for serial spill path", len(build), j.grant))
+	}
+	fb := &parallelHashJoin{ctx: j.ctx, node: j.node, scan: j.scan, left: j.left}
+	fb.dop = j.ctx.DOP
+	if fb.dop < 1 {
+		fb.dop = 1
+	}
+	if fb.scan != nil {
+		fb.scanPred = compilePred(j.ctx, fb.scan.Filter)
+	}
+	fb.residual = j.residual
+	fb.rWidth = j.rWidth
+	fb.grant, j.grant = j.grant, 0
+	fb.spill = newSpillJoin(j.ctx, j.node, build, fb.grant, fb.rWidth, 0)
+	fb.bindScanRF()
+	j.left = nil // ownership moved to the fallback
+	j.fallback = fb
+	return fb.probe()
+}
+
+// runShuffled is the repartition/broadcast path: route the build side,
+// detect and split hot keys, then scan-and-route the probe side from
+// per-shard contiguous ranges, probe shard-locally, and k-way merge the
+// tagged outputs back into serial order.
+func (j *shardedHashJoin) runShuffled(build []types.Row) error {
+	ctx := j.ctx
+	st := ctx.Shuffle
+	n := j.n
+	model := ctx.Clock.Model()
+
+	// Join-key hashes for the whole build side, computed once.
+	hs := make([]uint64, len(build))
+	nulls := make([]bool, len(build))
+	key := make([]types.Value, len(j.node.RightKeys))
+	routed := 0
+	for i, r := range build {
+		keyInto(key, r, j.node.RightKeys)
+		if keyHasNull(key) {
+			nulls[i] = true
+			continue
+		}
+		hs[i] = types.HashRow(key)
+		routed++
+	}
+
+	hot := j.detectHotKeys(hs, nulls, routed)
+
+	// Route the build side. Hot keys round-robin their rows across all
+	// shards by arrival index; everything else goes to hash%n. The copy
+	// that pays the serial insert charge is marked own.
+	bparts := make([][]brow, n)
+	rr := make(map[uint64]int, len(hot))
+	for i, r := range build {
+		if nulls[i] {
+			ctx.Clock.Probes(2) // serial charges the insert before skipping null keys
+			continue
+		}
+		h := hs[i]
+		if j.mode == plan.ShuffleBroadcast {
+			own := int(h % uint64(n))
+			for d := 0; d < n; d++ {
+				bparts[d] = append(bparts[d], brow{idx: int32(i), own: d == own, h: h, r: r})
+				if d != own {
+					st.addExtra(d, 1, model.NetRow)
+					st.addExtra(d, 2, model.HashProbe)
+				}
+			}
+			st.broadcastRows(int64(n - 1))
+			continue
+		}
+		d := int(h % uint64(n))
+		if hot[h] {
+			d = rr[h] % n
+			rr[h]++
+		}
+		bparts[d] = append(bparts[d], brow{idx: int32(i), own: true, h: h, r: r})
+		if n > 1 {
+			st.movedRows(1)
+			st.addExtra(d, 1, model.NetRow)
+		}
+	}
+
+	clks := make([]*storage.Clock, n)
+	for s := range clks {
+		clks[s] = ctx.Clock.Shard()
+	}
+
+	// Phase 1: per-shard hash-table build. Chains keep build-arrival order
+	// because bparts was appended in ascending index order.
+	tabs := make([]map[uint64][]brow, n)
+	if err := runShards(n, func(s int) error {
+		tab := make(map[uint64][]brow, len(bparts[s]))
+		for _, b := range bparts[s] {
+			if b.own {
+				clks[s].Probes(2)
+			}
+			tab[b.h] = append(tab[b.h], b)
+		}
+		tabs[s] = tab
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2: scan-and-route the probe side. Each shard owns a contiguous
+	// morsel (or row) range, so its sequence tags ascend; each (src,dst)
+	// buffer is therefore already sorted and the receiver just sweeps
+	// sources in order.
+	routes := make([][][]srow, n)
+	for s := range routes {
+		routes[s] = make([][]srow, n)
+	}
+	route := func(src int, seq int64, lr types.Row, pk []types.Value) {
+		if j.mode == plan.ShuffleBroadcast {
+			routes[src][src] = append(routes[src][src], srow{seq: seq, main: true, r: lr})
+			return
+		}
+		h := types.HashRow(pk) // NULL keys hash deterministically too
+		d := int(h % uint64(n))
+		if hot[h] {
+			// Duplicated probe routing: the build rows of this key are
+			// spread over every shard, so the probe row visits all of them.
+			// Only the home copy pays the serial probe charge.
+			for dd := 0; dd < n; dd++ {
+				routes[src][dd] = append(routes[src][dd], srow{seq: seq, main: dd == d, r: lr})
+				if dd != d {
+					st.hotDup(1)
+					st.addExtra(dd, 1, model.NetRow)
+					st.addExtra(dd, 1, model.HashProbe)
+				}
+			}
+			if d != src {
+				st.movedRows(1)
+				st.addExtra(d, 1, model.NetRow)
+			}
+			return
+		}
+		routes[src][d] = append(routes[src][d], srow{seq: seq, main: true, r: lr})
+		if d != src {
+			st.movedRows(1)
+			st.addExtra(d, 1, model.NetRow)
+		}
+	}
+	if j.scan != nil {
+		nm, npages := scanGeometry(j.scan, j.scanCol)
+		var scanned int64
+		if err := runShards(n, func(s int) error {
+			lo, hi := shardRange(s, n, nm)
+			pk := make([]types.Value, len(j.node.LeftKeys))
+			var cnt int64
+			for m := lo; m < hi; m++ {
+				mseq := int64(m) << shardSeqShift
+				k := int64(0)
+				err := scanMorsel(ctx, j.scan, j.scanPred, j.scanRF, j.scanCol, m, npages, clks[s], func(lr types.Row) error {
+					keyInto(pk, lr, j.node.LeftKeys)
+					route(s, mseq|k, lr, pk)
+					k++
+					cnt++
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			atomic.AddInt64(&scanned, cnt)
+			return nil
+		}); err != nil {
+			return err
+		}
+		finishNode(ctx, j.scan, float64(atomic.LoadInt64(&scanned)))
+	} else {
+		lrows, err := drain(j.left)
+		j.left = nil
+		if err != nil {
+			return err
+		}
+		if err := runShards(n, func(s int) error {
+			lo, hi := shardRange(s, n, len(lrows))
+			pk := make([]types.Value, len(j.node.LeftKeys))
+			for i, lr := range lrows[lo:hi] {
+				keyInto(pk, lr, j.node.LeftKeys)
+				route(s, int64(lo+i), lr, pk)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: shard-local probe in (source, sequence) order.
+	outs := make([][]orow, n)
+	if err := runShards(n, func(s int) error {
+		pk := make([]types.Value, len(j.node.LeftKeys))
+		ck := make([]types.Value, len(j.node.RightKeys))
+		var out []orow
+		for src := 0; src < n; src++ {
+			for _, pr := range routes[src][s] {
+				if err := j.probeOne(pr, tabs[s], clks[s], pk, ck, &out); err != nil {
+					return err
+				}
+			}
+		}
+		outs[s] = out
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	j.gather(outs)
+	j.finishShards(clks)
+	if ctx.Trace != nil {
+		ctx.Trace.Event("shuffle.route", fmt.Sprintf(
+			"mode=%s shards=%d build=%d hot_keys=%d out=%d", j.mode, n, len(build), len(hot), len(j.out)))
+	}
+	return nil
+}
+
+// detectHotKeys implements the skew trigger for repartition joins: when a
+// shard's routed load share (squared build-key counts, the match-work
+// proxy) exceeds shardSkewFactor times the mean, every key on it whose own
+// weight reaches the mean shard load is marked hot. Left-outer joins are
+// excluded — their null-extension decision needs all of a probe row's
+// matches on one shard.
+func (j *shardedHashJoin) detectHotKeys(hs []uint64, nulls []bool, routed int) map[uint64]bool {
+	if j.mode != plan.ShuffleRepartition || j.node.Type != plan.Inner ||
+		j.ctx.NoHotSplit || j.n <= 1 || routed == 0 {
+		return nil
+	}
+	n := j.n
+	// Per-key build counts feed a squared-count load proxy: when both
+	// sides skew together, the match work a key drags to its shard grows
+	// quadratically with its build share, so plain row counts understate
+	// heavy hitters. The per-shard weight is the sum of its keys' squared
+	// counts.
+	per := make(map[uint64]int, routed)
+	for i := range hs {
+		if !nulls[i] {
+			per[hs[i]]++
+		}
+	}
+	w := make([]float64, n)
+	var total float64
+	for h, c := range per {
+		q := float64(c) * float64(c)
+		w[int(h%uint64(n))] += q
+		total += q
+	}
+	mean := total / float64(n)
+	overloaded := make(map[int]bool)
+	for s := range w {
+		if w[s] > shardSkewFactor*mean {
+			overloaded[s] = true
+		}
+	}
+	if len(overloaded) == 0 {
+		return nil
+	}
+	// A key is hot when its own squared weight reaches the mean shard
+	// weight — splitting anything smaller cannot level the load.
+	var hot map[uint64]bool
+	for h, c := range per {
+		if overloaded[int(h%uint64(n))] && float64(c)*float64(c) > mean {
+			if hot == nil {
+				hot = map[uint64]bool{}
+			}
+			hot[h] = true
+		}
+	}
+	if hot != nil {
+		j.ctx.Shuffle.hotSplit(int64(len(hot)))
+		if j.ctx.Trace != nil {
+			j.ctx.Trace.Event("shuffle.skew", fmt.Sprintf(
+				"hot_keys=%d overloaded_shards=%d mean_load=%.1f", len(hot), len(overloaded), mean))
+		}
+	}
+	return hot
+}
+
+// probeOne probes one routed row against a shard's table, appending tagged
+// outputs. Charges mirror the serial probe exactly: one probe per original
+// probe row (the main copy), one unit of row work per emitted row — on the
+// clock of the shard doing that work.
+func (j *shardedHashJoin) probeOne(pr srow, tab map[uint64][]brow, clk *storage.Clock, pk, ck []types.Value, out *[]orow) error {
+	if pr.main {
+		clk.Probes(1)
+	}
+	keyInto(pk, pr.r, j.node.LeftKeys)
+	matched := false
+	if !keyHasNull(pk) {
+		h := types.HashRow(pk)
+		for _, cand := range tab[h] {
+			keyInto(ck, cand.r, j.node.RightKeys)
+			if !keysEqual(pk, ck) {
+				continue
+			}
+			buf := types.Concat(pr.r, cand.r)
+			if j.residual != nil {
+				ok, err := j.residual.Eval(buf, j.ctx.Params)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			} else if j.node.Residual != nil {
+				ok, err := expr.EvalPredicate(j.node.Residual, buf, j.ctx.Params)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			clk.RowWork(1)
+			matched = true
+			*out = append(*out, orow{seq: pr.seq, bidx: cand.idx, r: buf})
+		}
+	}
+	if j.node.Type == plan.LeftOuter && !matched && pr.main {
+		clk.RowWork(1)
+		*out = append(*out, orow{seq: pr.seq, bidx: -1, r: types.Concat(pr.r, nullRow(j.rWidth))})
+	}
+	return nil
+}
+
+// gather k-way merges the per-shard output streams — each already sorted
+// by (seq, bidx) — into the exact serial emission order.
+func (j *shardedHashJoin) gather(outs [][]orow) {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	j.out = make([]types.Row, 0, total)
+	cur := make([]int, len(outs))
+	for len(j.out) < total {
+		best := -1
+		for s := range outs {
+			if cur[s] >= len(outs[s]) {
+				continue
+			}
+			if best < 0 {
+				best = s
+				continue
+			}
+			a, b := outs[s][cur[s]], outs[best][cur[best]]
+			if a.seq < b.seq || (a.seq == b.seq && a.bidx < b.bidx) {
+				best = s
+			}
+		}
+		j.out = append(j.out, outs[best][cur[best]].r)
+		cur[best]++
+	}
+}
+
+// finishShards attributes each shard clock's units to the stats and merges
+// them into the query clock — restoring the exact serial total.
+func (j *shardedHashJoin) finishShards(clks []*storage.Clock) {
+	st := j.ctx.Shuffle
+	for s, clk := range clks {
+		st.addUnits(s, clk.UnitsScaled())
+		j.ctx.Clock.Merge(clk)
+		if j.ctx.Trace != nil {
+			j.ctx.Trace.Event("shuffle.shard", fmt.Sprintf("shard=%d units=%.3f", s, clk.Units()))
+		}
+	}
+}
+
+// runColocated is the no-movement path: both tables are physically
+// partitioned on the join key with page-aligned shard boundaries, so shard
+// s joins build pages [bp[s],bp[s+1]) against probe pages [pp[s],pp[s+1])
+// entirely locally. Shard-major concatenation of outputs is the serial
+// heap order, so no tags or merge are needed.
+func (j *shardedHashJoin) runColocated() error {
+	ctx := j.ctx
+	n := j.n
+	bp := j.buildScan.Table.Part().PageStart
+	pp := j.scan.Table.Part().PageStart
+	clks := make([]*storage.Clock, n)
+	for s := range clks {
+		clks[s] = ctx.Clock.Shard()
+	}
+
+	// Per-shard build-side scans; shard-major order is heap order, so the
+	// concatenation equals the serial drain.
+	bpred := compilePred(ctx, j.buildScan.Filter)
+	brf := bindRuntimeFilters(ctx, j.buildScan.RFConsume)
+	bRows := make([][]types.Row, n)
+	if err := runShards(n, func(s int) error {
+		var rows []types.Row
+		err := scanPageRange(ctx, j.buildScan, bpred, brf, bp[s], bp[s+1], clks[s], func(r types.Row) error {
+			rows = append(rows, r)
+			return nil
+		})
+		bRows[s] = rows
+		return err
+	}); err != nil {
+		return err
+	}
+	totalBuild := 0
+	for _, rows := range bRows {
+		totalBuild += len(rows)
+	}
+	finishNode(ctx, j.buildScan, float64(totalBuild))
+	if ctx.RF != nil && len(j.node.RFilters) > 0 {
+		all := make([]types.Row, 0, totalBuild)
+		for _, rows := range bRows {
+			all = append(all, rows...)
+		}
+		buildRuntimeFilters(ctx, j.node, ctx.Clock, all)
+	}
+	j.grant = ctx.Mem.Grant(totalBuild)
+	if totalBuild > j.grant {
+		for s, clk := range clks {
+			ctx.Shuffle.addUnits(s, clk.UnitsScaled())
+			ctx.Clock.Merge(clk)
+		}
+		all := make([]types.Row, 0, totalBuild)
+		for _, rows := range bRows {
+			all = append(all, rows...)
+		}
+		return j.degrade(all)
+	}
+	j.bindScan()
+	j.ctx.Shuffle.countJoin(plan.ShuffleColocated)
+
+	outs := make([][]types.Row, n)
+	var scanned int64
+	if err := runShards(n, func(s int) error {
+		tab := make(map[uint64][]brow, len(bRows[s]))
+		key := make([]types.Value, len(j.node.RightKeys))
+		for i, r := range bRows[s] {
+			clks[s].Probes(2)
+			keyInto(key, r, j.node.RightKeys)
+			if keyHasNull(key) {
+				continue
+			}
+			h := types.HashRow(key)
+			tab[h] = append(tab[h], brow{idx: int32(i), own: true, h: h, r: r})
+		}
+		pk := make([]types.Value, len(j.node.LeftKeys))
+		ck := make([]types.Value, len(j.node.RightKeys))
+		var tagged []orow
+		var cnt int64
+		err := scanPageRange(ctx, j.scan, j.scanPred, j.scanRF, pp[s], pp[s+1], clks[s], func(lr types.Row) error {
+			cnt++
+			return j.probeOne(srow{seq: cnt, main: true, r: lr}, tab, clks[s], pk, ck, &tagged)
+		})
+		if err != nil {
+			return err
+		}
+		atomic.AddInt64(&scanned, cnt)
+		rows := make([]types.Row, len(tagged))
+		for i, o := range tagged {
+			rows[i] = o.r
+		}
+		outs[s] = rows
+		return nil
+	}); err != nil {
+		return err
+	}
+	finishNode(ctx, j.scan, float64(atomic.LoadInt64(&scanned)))
+	for _, rows := range outs {
+		j.out = append(j.out, rows...)
+	}
+	j.finishShards(clks)
+	if ctx.Trace != nil {
+		ctx.Trace.Event("shuffle.route", fmt.Sprintf(
+			"mode=colocated shards=%d build=%d out=%d (no rows moved)", n, totalBuild, len(j.out)))
+	}
+	return nil
+}
+
+func (j *shardedHashJoin) Next() (types.Row, bool, error) {
+	if j.fallback != nil {
+		return j.fallback.Next()
+	}
+	if j.pos >= len(j.out) {
+		return nil, false, nil
+	}
+	r := j.out[j.pos]
+	j.pos++
+	return r, true, nil
+}
+
+func (j *shardedHashJoin) Close() error {
+	if j.fallback != nil {
+		return j.fallback.Close()
+	}
+	j.out = nil
+	j.ctx.Mem.Release(j.grant)
+	j.grant = 0
+	if j.left != nil {
+		return j.left.Close()
+	}
+	return nil
+}

@@ -93,13 +93,14 @@ func Registry() map[string]Runner {
 		"E25": E25DopSweep,
 		"E26": E26VecSweep,
 		"E27": E27ColumnarSweep,
+		"E28": E28ShardSweep,
 	}
 }
 
 // IDs returns all experiment ids in order.
 func IDs() []string {
-	ids := make([]string, 0, 27)
-	for i := 1; i <= 27; i++ {
+	ids := make([]string, 0, 28)
+	for i := 1; i <= 28; i++ {
 		ids = append(ids, fmt.Sprintf("E%d", i))
 	}
 	return ids

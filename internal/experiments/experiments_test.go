@@ -25,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	if len(IDs()) != 27 {
-		t.Errorf("expected 27 experiments, got %d", len(IDs()))
+	if len(IDs()) != 28 {
+		t.Errorf("expected 28 experiments, got %d", len(IDs()))
 	}
 }
 
@@ -432,5 +432,31 @@ func TestE27ColumnarSweepWinsAndBoundsOverhead(t *testing.T) {
 		if p.Sel >= 1 && p.BlocksSkipped != 0 {
 			t.Errorf("%s sel=%g: full scan skipped %d blocks", p.Encoding, p.Sel, p.BlocksSkipped)
 		}
+	}
+}
+
+func TestE28ShardSweepInvariants(t *testing.T) {
+	r := runE(t, "E28", 0.25)
+	if r.KV["all_exact"] != 1 {
+		t.Errorf("sharded runs must stay byte- and cost-exact:\n%s", strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["uniform_speedup_4"] <= 1 {
+		t.Errorf("4-shard makespan should beat single-shard: speedup=%v", r.KV["uniform_speedup_4"])
+	}
+	if r.KV["broadcast_chosen"] != 1 || r.KV["broadcast_wins"] != 1 {
+		t.Errorf("small build side: broadcast should be chosen and win (chosen=%v wins=%v)",
+			r.KV["broadcast_chosen"], r.KV["broadcast_wins"])
+	}
+	if s, ns := r.KV["skew_worst_over_mean_split"], r.KV["skew_worst_over_mean_nosplit"]; s >= ns {
+		t.Errorf("hot-key splitting should flatten the worst/mean shard ratio: split=%v nosplit=%v", s, ns)
+	}
+	if r.KV["colocated_rows_moved"] != 0 {
+		t.Errorf("colocated joins moved %v rows", r.KV["colocated_rows_moved"])
+	}
+	if r.KV["tractor_exact"] != 1 {
+		t.Errorf("E8 chain queries must stay exact under sharding")
+	}
+	if r.KV["fpt_in_envelope"] != 1 {
+		t.Errorf("E11 envelope must hold on the sharded makespan")
 	}
 }

@@ -169,6 +169,41 @@ type JoinNode struct {
 	// RFilters lists the runtime join filters this join derives from its
 	// build (right) side after draining it (set by PlanRuntimeFilters).
 	RFilters []RFilterSpec
+	// Shuffle selects how sharded execution routes this join's rows between
+	// shard-local pipelines (set by opt.PlanShuffles; ignored unless the
+	// execution context carries a shard count above one).
+	Shuffle ShuffleMode
+}
+
+// ShuffleMode is a hash join's row-routing strategy under sharded
+// execution.
+type ShuffleMode uint8
+
+const (
+	// ShuffleNone leaves the join on the unsharded path.
+	ShuffleNone ShuffleMode = iota
+	// ShuffleColocated exploits matching physical partitioning on the join
+	// key: every match is shard-local and no rows move.
+	ShuffleColocated
+	// ShuffleRepartition hash-partitions both sides on the join key.
+	ShuffleRepartition
+	// ShuffleBroadcast replicates the (small) build side to every shard and
+	// leaves the (large) probe side where it is scanned.
+	ShuffleBroadcast
+)
+
+// String names the shuffle mode for traces and bench output.
+func (m ShuffleMode) String() string {
+	switch m {
+	case ShuffleColocated:
+		return "colocated"
+	case ShuffleRepartition:
+		return "repartition"
+	case ShuffleBroadcast:
+		return "broadcast"
+	default:
+		return "none"
+	}
 }
 
 // Left returns the left child.

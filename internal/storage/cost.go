@@ -21,6 +21,7 @@ type CostModel struct {
 	Compare      float64 // per-comparison sort/merge work
 	FilterTest   float64 // per-key runtime-filter membership test (Bloom + bounds)
 	ZoneCheck    float64 // per-block zone-map / block-filter consultation
+	NetRow       float64 // per-row cross-shard transfer through a shuffle exchange
 }
 
 // DefaultCostModel is the machine every experiment runs on. FilterTest is
@@ -37,6 +38,12 @@ func DefaultCostModel() CostModel {
 		Compare:      0.012,
 		FilterTest:   0.002,
 		ZoneCheck:    0.001,
+		// NetRow sits between FilterTest and RowCPU: moving a row between
+		// shards ships a compact serialized tuple, cheaper than full per-row
+		// processing but not free. Serial execution never charges it, which
+		// is what keeps the shuffle overhead in a separate accounting domain
+		// from the main-clock parity invariant.
+		NetRow: 0.005,
 	}
 }
 
@@ -137,6 +144,12 @@ func (c *Clock) Compares(n int) { c.add(c.model.Compare * float64(n)) }
 func (c *Clock) Units() float64 {
 	return float64(atomic.LoadInt64(&c.units)) / clockScale
 }
+
+// UnitsScaled returns the accumulated cost in ClockScale sub-units — the
+// clock's exact integer domain. Shard-level accounting stores these rather
+// than float units so per-shard sums stay bit-exact against the merged
+// total.
+func (c *Clock) UnitsScaled() int64 { return atomic.LoadInt64(&c.units) }
 
 // Counters returns the raw event counts (seq reads, rand reads, writes, rows).
 func (c *Clock) Counters() (seq, rand, writes, rows int64) {

@@ -34,9 +34,10 @@ type page struct {
 // readers with a single writer class via RWMutex (sufficient for the mixed
 // workload experiments, which model logical not physical contention).
 type Heap struct {
-	mu    sync.RWMutex
-	pages []*page
-	rows  int64
+	mu     sync.RWMutex
+	pages  []*page
+	rows   int64
+	sealed bool // next Insert opens a fresh page even if the tail has room
 }
 
 // NewHeap returns an empty heap.
@@ -48,8 +49,9 @@ func NewHeap() *Heap { return &Heap{} }
 func (h *Heap) Insert(clk *Clock, r types.Row) RID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.pages) == 0 || len(h.pages[len(h.pages)-1].rows) >= PageRows {
+	if len(h.pages) == 0 || len(h.pages[len(h.pages)-1].rows) >= PageRows || h.sealed {
 		h.pages = append(h.pages, &page{rows: make([]types.Row, 0, PageRows)})
+		h.sealed = false
 		if clk != nil {
 			clk.Write(1)
 		}
@@ -59,6 +61,16 @@ func (h *Heap) Insert(clk *Clock, r types.Row) RID {
 	p.live++
 	h.rows++
 	return MakeRID(len(h.pages)-1, len(p.rows)-1)
+}
+
+// SealPage closes the current tail page: the next Insert starts a fresh
+// page even if the tail has free slots. catalog.PartitionTable uses it to
+// page-align partition boundaries so a page-range scan never straddles two
+// shards.
+func (h *Heap) SealPage() {
+	h.mu.Lock()
+	h.sealed = len(h.pages) > 0
+	h.mu.Unlock()
 }
 
 // BulkLoad inserts many rows without charging the clock (data loading is

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+
+	"rqp/internal/catalog"
+	"rqp/internal/types"
+)
+
+// ShardJoinConfig controls the two-table join workload behind the shard
+// sweep (E28): a build table bt(k, bval) joined to a probe table
+// pt(k, pval) on k. Skew applies a Zipf distribution to both sides' keys
+// (with different seeds, so hot keys overlap but individual rows don't
+// line up trivially); 0 keeps keys uniform. Neither table is indexed, so
+// the optimizer always picks the hash join the shuffle layer shards.
+type ShardJoinConfig struct {
+	BuildRows int
+	ProbeRows int
+	Keys      int64   // key domain [0, Keys)
+	Skew      float64 // Zipf s parameter; 0 = uniform
+	Seed      int64
+}
+
+// DefaultShardJoin is the configuration the shard sweep scales.
+func DefaultShardJoin() ShardJoinConfig {
+	return ShardJoinConfig{BuildRows: 4000, ProbeRows: 16000, Keys: 1000, Seed: 7}
+}
+
+// BuildShardJoin creates and loads bt(k, bval) and pt(k, pval) with
+// statistics analyzed and no indexes.
+func BuildShardJoin(cfg ShardJoinConfig) (*catalog.Catalog, error) {
+	cat := catalog.New()
+	if cfg.Keys <= 1 {
+		cfg.Keys = 2
+	}
+
+	bt, err := cat.CreateTable("bt", types.Schema{
+		{Name: "k", Kind: types.KindInt},
+		{Name: "bval", Kind: types.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	bg := NewGen(cfg.Seed)
+	bkey := keySampler(bg, cfg.Keys, cfg.Skew)
+	for i := 0; i < cfg.BuildRows; i++ {
+		cat.Insert(nil, bt, IntRow(bkey(), bg.Uniform(1000)))
+	}
+
+	pt, err := cat.CreateTable("pt", types.Schema{
+		{Name: "k", Kind: types.KindInt},
+		{Name: "pval", Kind: types.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pg := NewGen(cfg.Seed + 1)
+	pkey := keySampler(pg, cfg.Keys, cfg.Skew)
+	for i := 0; i < cfg.ProbeRows; i++ {
+		cat.Insert(nil, pt, IntRow(pkey(), pg.Uniform(1000)))
+	}
+
+	cat.AnalyzeTable(bt, 16)
+	cat.AnalyzeTable(pt, 16)
+	return cat, nil
+}
+
+// keySampler returns a key generator: Zipf-distributed when skew > 0,
+// uniform otherwise.
+func keySampler(g *Gen, keys int64, skew float64) func() int64 {
+	if skew > 0 {
+		return g.ZipfSeq(uint64(keys), skew)
+	}
+	return func() int64 { return g.Uniform(keys) }
+}
+
+// ShardJoinQuery is the sweep's probe: an aggregate over the k-join, so
+// result comparison is one row yet still sensitive to every joined pair.
+func ShardJoinQuery() string {
+	return "SELECT COUNT(*), SUM(pt.pval) FROM pt, bt WHERE pt.k = bt.k"
+}
+
+// PartitionShardJoin hash-partitions both tables on k so the planner's
+// co-located path applies.
+func PartitionShardJoin(cat *catalog.Catalog, shards int) error {
+	for _, name := range []string{"bt", "pt"} {
+		t, ok := cat.Table(name)
+		if !ok {
+			return fmt.Errorf("workload: missing table %q", name)
+		}
+		if err := cat.PartitionTable(t, "k", shards); err != nil {
+			return err
+		}
+	}
+	return nil
+}
