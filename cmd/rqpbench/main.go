@@ -15,6 +15,7 @@
 //	rqpbench -json -sweep vec-sweep -o BENCH_vectorized.json    # row-vs-vec parity map
 //	rqpbench -json -sweep columnar-sweep -o BENCH_columnar.json # heap-vs-columnar map
 //	rqpbench -json -sweep shard-sweep -o BENCH_shard.json       # shard/skew/straggler map
+//	rqpbench -json -sweep server-sweep -o BENCH_server.json     # wire-protocol concurrency map
 //	rqpbench -sweep mem-sweep,shard-sweep   # several sweeps in one file
 //	rqpbench -shards 4       # run the traced probes on 4 logical shards
 //	rqpbench -debug-addr :6060   # live /metrics /queries /trace/{id} while running

@@ -1,0 +1,175 @@
+// Command rqpdocslint is a dependency-free lint for the repo's operator
+// and design documentation. It fails (exit 1) when a relative markdown
+// link points at a file that does not exist, when a `#fragment` link —
+// same-file or cross-file — names a heading that is not there, or when a
+// fenced code block is left unclosed. The point is cheap CI enforcement
+// that the protocol spec, design docs and README stay navigable as the
+// tree moves underneath them.
+//
+// Usage:
+//
+//	rqpdocslint                       # lint the default doc set
+//	rqpdocslint README.md docs/X.md   # lint specific files
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// defaultDocs is the doc set CI lints when no files are named.
+var defaultDocs = []string{
+	"README.md", "DESIGN.md", "ARCHITECTURE.md", "EXPERIMENTS.md",
+	"ROADMAP.md", "CHANGES.md",
+}
+
+// linkRE matches inline markdown links [text](target). Images ![..](..)
+// match too via the leading [; the target rules are identical.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^()\s]+)\)`)
+
+// headingRE matches ATX headings.
+var headingRE = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+
+// anchorSet returns the GitHub-style anchor slugs for a markdown file's
+// headings, with the -1, -2 suffixes GitHub appends to duplicates.
+func anchorSet(raw string) map[string]bool {
+	anchors := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[2])
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors
+}
+
+// slugify approximates GitHub's heading-to-anchor algorithm: strip inline
+// markup characters, lowercase, drop everything but letters, digits,
+// spaces and hyphens, then turn spaces into hyphens.
+func slugify(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteRune(r)
+		}
+	}
+	return strings.ReplaceAll(b.String(), " ", "-")
+}
+
+// lintFile returns the problems found in one markdown file.
+func lintFile(path string, cache map[string]string) []string {
+	raw, ok := cache[path]
+	if !ok {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return []string{fmt.Sprintf("%s: %v", path, err)}
+		}
+		raw = string(data)
+		cache[path] = raw
+	}
+	var problems []string
+	dir := filepath.Dir(path)
+	fences := 0
+	inFence := false
+	for i, line := range strings.Split(raw, "\n") {
+		lineno := i + 1
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fences++
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(dir, file)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", path, lineno, target, resolved))
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(strings.ToLower(resolved), ".md") {
+				sub, ok := cache[resolved]
+				if !ok {
+					data, err := os.ReadFile(resolved)
+					if err != nil {
+						problems = append(problems, fmt.Sprintf("%s:%d: %v", path, lineno, err))
+						continue
+					}
+					sub = string(data)
+					cache[resolved] = sub
+				}
+				if !anchorSet(sub)[frag] {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: broken anchor %q (no such heading in %s)", path, lineno, target, resolved))
+				}
+			}
+		}
+	}
+	if fences%2 != 0 {
+		problems = append(problems, fmt.Sprintf("%s: unclosed fenced code block (%d fence markers)", path, fences))
+	}
+	return problems
+}
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = append([]string(nil), defaultDocs...)
+		entries, err := os.ReadDir("docs")
+		if err == nil {
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+					files = append(files, filepath.Join("docs", e.Name()))
+				}
+			}
+		}
+		sort.Strings(files)
+	}
+	var problems []string
+	cache := map[string]string{}
+	for _, f := range files {
+		problems = append(problems, lintFile(f, cache)...)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "rqpdocslint: %d problem(s) in %d file(s)\n", len(problems), len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("rqpdocslint: %d file(s) clean\n", len(files))
+}

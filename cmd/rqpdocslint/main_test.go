@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintCatchesBrokenLinksAndAnchors(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "other.md"), "# Other Doc\n\n## Error codes\n")
+	write(t, filepath.Join(dir, "doc.md"), strings.Join([]string{
+		"# Doc",
+		"",
+		"Good: [other](other.md), [sect](other.md#error-codes), [self](#doc).",
+		"Bad file: [gone](missing.md).",
+		"Bad anchor: [x](other.md#nope), [y](#nothing).",
+		"External untouched: [w](https://example.com/zzz).",
+		"",
+		"```",
+		"a [fenced link](also-missing.md) must be ignored",
+		"```",
+	}, "\n"))
+
+	problems := lintFile(filepath.Join(dir, "doc.md"), map[string]string{})
+	if len(problems) != 3 {
+		t.Fatalf("problems = %d, want 3 (missing.md, other.md#nope, #nothing):\n%s",
+			len(problems), strings.Join(problems, "\n"))
+	}
+	for _, want := range []string{"missing.md", "other.md#nope", "#nothing"} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no problem mentions %q:\n%s", want, strings.Join(problems, "\n"))
+		}
+	}
+}
+
+func TestLintUnclosedFence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.md")
+	write(t, path, "# Doc\n\n```\nunterminated\n")
+	problems := lintFile(path, map[string]string{})
+	if len(problems) != 1 || !strings.Contains(problems[0], "unclosed fenced") {
+		t.Fatalf("problems = %v, want one unclosed-fence report", problems)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Error codes":                       "error-codes",
+		"Service layer: client → session":   "service-layer-client--session",
+		"8. Worked example":                 "8-worked-example",
+		"RQP wire protocol, version 1":      "rqp-wire-protocol-version-1",
+		"Admission control — the MPL gate!": "admission-control--the-mpl-gate",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefaultDocSetIsClean(t *testing.T) {
+	// Guard the real repo docs from inside the test suite too: CI runs the
+	// binary, but `go test ./...` alone should also catch a broken link.
+	root := "../.."
+	cache := map[string]string{}
+	var problems []string
+	for _, f := range defaultDocs {
+		problems = append(problems, lintFile(filepath.Join(root, f), cache)...)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "docs"))
+	if err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+				problems = append(problems, lintFile(filepath.Join(root, "docs", e.Name()), cache)...)
+			}
+		}
+	}
+	if len(problems) > 0 {
+		t.Fatalf("repo docs have problems:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -73,6 +73,13 @@ func freshFor(base *bench.Result) (*bench.Result, error) {
 		}
 		fresh.ShardSweep = points
 	}
+	if len(base.ServerSweep) > 0 {
+		points, _, err := bench.RunServerSweep(m.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("server-sweep: %w", err)
+		}
+		fresh.ServerSweep = points
+	}
 	if len(base.Queries) > 0 {
 		qs, err := bench.ProbeQueries(m.Scale, m.DOP, m.Vec, m.Shards)
 		if err != nil {

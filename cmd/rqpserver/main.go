@@ -1,0 +1,159 @@
+// Command rqpserver serves the rqp engine over the TCP wire protocol
+// (docs/WIRE_PROTOCOL.md): one session per connection, prepared statements
+// backed by the shared plan cache, and the WLM admission gate queueing
+// clients FIFO when the multiprogramming limit is reached.
+//
+// Usage:
+//
+//	rqpserver -addr :5433 -db star -mpl 4 -mempool 40000
+//	rqpserver -addr :5433 -db tpch -scale 0.5 -shards 4 -debug-addr :6060
+//	rqpserver -db star -mpl 4 -queue-timeout 5s -querylog queries.jsonl
+//
+// Connect with `rqpsh -connect host:5433` or the server.Client library.
+// With -debug-addr, /queries shows live sessions' queries (including the
+// queued phase while the gate is full) and /metrics the admission counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rqp/internal/core"
+	"rqp/internal/obs"
+	"rqp/internal/opt"
+	"rqp/internal/server"
+	"rqp/internal/wlm"
+	"rqp/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":5433", "listen address")
+		db      = flag.String("db", "star", "workload database to serve: tpch | star | (empty)")
+		scale   = flag.Float64("scale", 0.5, "workload scale for -db tpch")
+		policy  = flag.String("policy", "classic", "execution policy: classic | pop | pop-eager | rio")
+		mpl     = flag.Int("mpl", 4, "admission multiprogramming limit (0 = unlimited)")
+		memPool = flag.Int("mempool", 0,
+			"with -mpl, workspace rows shared by running queries (arrivals reclaim from the running)")
+		queueTimeout = flag.Duration("queue-timeout", 10*time.Second,
+			"how long a session waits in the admission queue before ERR_ADMIT")
+		cache     = flag.Bool("cache", true, "enable the shared plan cache (classic policy)")
+		vec       = flag.Bool("vec", false, "enable vectorized batch execution")
+		dop       = flag.Int("dop", 0, "degree of parallelism (0/1 = serial, -1 = all cores)")
+		shards    = flag.Int("shards", 0, "logical shard count for sharded joins (0/1 = unsharded)")
+		rf        = flag.Bool("rf", false, "enable runtime join filters")
+		leo       = flag.Bool("leo", false, "enable LEO execution feedback")
+		mem       = flag.Int("mem", 0, "per-query workspace budget in rows (0 = default)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve live introspection (/metrics, /queries, /trace/{id}, pprof) on this address")
+		queryLog = flag.String("querylog", "",
+			"append one structured JSONL record per completed query to this file")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *policy {
+	case "classic":
+		cfg.Policy = core.PolicyClassic
+	case "pop":
+		cfg.Policy = core.PolicyPOP
+	case "pop-eager":
+		cfg.Policy = core.PolicyPOPEager
+	case "rio":
+		cfg.Policy = core.PolicyRio
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	cfg.EstimateMode = opt.Expected
+	cfg.LEO = *leo
+	if *mpl > 0 {
+		cfg.Admission = wlm.NewAdmitter(*mpl)
+		cfg.MemPoolRows = *memPool
+	}
+	cfg.DOP = *dop
+	cfg.Vec = *vec
+	cfg.Shards = *shards
+	cfg.RuntimeFilters = *rf
+	if *mem > 0 {
+		cfg.MemBudgetRows = *mem
+	}
+	if *debugAddr != "" {
+		cfg.TraceAll = true
+	}
+	if *queryLog != "" {
+		sink, closer, err := obs.OpenJSONLFile(*queryLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer closer.Close()
+		cfg.QueryLog = sink
+	}
+
+	var eng *core.Engine
+	switch *db {
+	case "":
+		eng = core.Open(cfg)
+	case "tpch":
+		cat, err := workload.BuildTPCH(workload.TPCHConfig{Scale: *scale, Seed: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng = core.Attach(cat, cfg)
+	case "star":
+		cat, err := workload.BuildStar(workload.DefaultStar())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng = core.Attach(cat, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown database %q\n", *db)
+		os.Exit(2)
+	}
+	if *cache {
+		eng.Cache = core.NewPlanCache(0)
+	}
+
+	if *debugAddr != "" {
+		dsrv, err := obs.StartDebugServer(*debugAddr, eng.Metrics, eng.Lifecycle)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer dsrv.Close()
+		fmt.Printf("debug server on %s (/metrics, /queries, /trace/{id}, /debug/pprof)\n", dsrv.Addr)
+	}
+
+	srv := server.New(server.Config{
+		Engine:       eng,
+		QueueTimeout: *queueTimeout,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("rqpserver listening on %s (db=%s policy=%s mpl=%d mempool=%d shards=%d)\n",
+		srv.Addr(), *db, *policy, *mpl, *memPool, *shards)
+
+	// SIGINT/SIGTERM: stop accepting, close live sessions (their queries
+	// cancel cooperatively), then exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(); err != nil && err != server.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

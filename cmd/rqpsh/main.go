@@ -12,6 +12,7 @@
 //	rqpsh -db tpch -mem 2000 -mem-shrink 200   # budget collapses mid-query
 //	rqpsh -db tpch -debug-addr :6060   # curl /queries, /metrics, /trace/{id}
 //	rqpsh -db tpch -querylog queries.jsonl     # one JSON record per query
+//	rqpsh -connect localhost:5433      # speak the wire protocol to rqpserver
 //	echo "SELECT 1 FROM r" | rqpsh -db tpch
 package main
 
@@ -25,12 +26,15 @@ import (
 	"rqp/internal/core"
 	"rqp/internal/obs"
 	"rqp/internal/opt"
+	"rqp/internal/server"
 	"rqp/internal/wlm"
 	"rqp/internal/workload"
 )
 
 func main() {
 	var (
+		connect = flag.String("connect", "",
+			"connect to an rqpserver at host:port over the wire protocol instead of running an in-process engine")
 		db           = flag.String("db", "", "preload a workload database: tpch | star | (empty)")
 		scale        = flag.Float64("scale", 0.5, "workload scale for -db")
 		policy       = flag.String("policy", "classic", "execution policy: classic | pop | pop-eager | rio")
@@ -58,6 +62,14 @@ func main() {
 			"append one structured JSONL record per completed query to this file")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		if err := remoteShell(*connect); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	switch *policy {
@@ -207,4 +219,69 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// remoteShell is the -connect REPL: the same read-statement/print-rows loop
+// as the in-process shell, but speaking the wire protocol to an rqpserver.
+// WLM backpressure notices (WLM_QUEUED / WLM_ADMITTED) print as they arrive
+// in the result, so a queued statement explains its own latency.
+func remoteShell(addr string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("connected to rqpserver at %s (session %d). End statements with ';'. \\q quits.\n",
+		addr, c.SessionID)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("rqp> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "\\q" || trimmed == "quit" || trimmed == "exit" {
+			return nil
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			continue
+		}
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if stmt == "" || stmt == ";" {
+			prompt()
+			continue
+		}
+		rs, err := c.Query(stmt)
+		if rs != nil {
+			for _, n := range rs.Notices {
+				fmt.Printf("-- notice %s: %s\n", n.Code, n.Message)
+			}
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			if se, ok := err.(*server.ServerError); ok && se.Code == server.CodeProto {
+				return fmt.Errorf("connection closed by server: %s", se.Message)
+			}
+			prompt()
+			continue
+		}
+		if len(rs.Columns) > 0 && len(rs.Rows) > 0 {
+			fmt.Println(strings.Join(rs.Columns, " | "))
+		}
+		for _, row := range rs.Rows {
+			fmt.Println(row)
+		}
+		if rs.Tag == "OK" && rs.RowCount > 0 {
+			fmt.Printf("%d row(s) affected\n", rs.RowCount)
+		}
+		if rs.CostUnits > 0 {
+			fmt.Printf("-- cost %.2f units\n", rs.CostUnits)
+		}
+		prompt()
+	}
+	return nil
 }

@@ -109,6 +109,7 @@ var KnownKinds = map[string]bool{
 	"vec-sweep":      true,
 	"columnar-sweep": true,
 	"shard-sweep":    true,
+	"server-sweep":   true,
 	"mixed":          true,
 }
 
@@ -237,6 +238,29 @@ type ShardSweepPoint struct {
 	CostExact     bool    `json:"cost_exact"`
 }
 
+// ServerSweepPoint is one rung of the service-layer concurrency map: N
+// closed-loop wire-protocol clients against one engine behind an MPL
+// admission gate. Latency quantiles and qps are wall-clock (never gated);
+// CostUnits is the deterministic simulated total, recorded only at
+// clients=1 where execution is sequential, so the gate diffs it exactly
+// there and skips it at concurrent points.
+type ServerSweepPoint struct {
+	Clients       int     `json:"clients"`
+	MPL           int     `json:"mpl"`
+	Queries       int     `json:"queries"`
+	QueuedWaits   int64   `json:"queued_waits"`
+	QueuedNotices int     `json:"queued_notices"`
+	AdmitTimeouts int     `json:"admit_timeouts"`
+	QPS           float64 `json:"qps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	P999MS        float64 `json:"p999_ms"`
+	MaxMS         float64 `json:"max_ms"`
+	MeanCostUnits float64 `json:"mean_cost_units"`
+	CostUnits     float64 `json:"cost_units,omitempty"`
+	ResultExact   bool    `json:"result_exact"`
+}
+
 // Result is one bench file: the meta header plus whichever sections the
 // run produced.
 type Result struct {
@@ -249,6 +273,7 @@ type Result struct {
 	VecSweep      []VecSweepPoint      `json:"vec_sweep,omitempty"`
 	ColumnarSweep []ColumnarSweepPoint `json:"columnar_sweep,omitempty"`
 	ShardSweep    []ShardSweepPoint    `json:"shard_sweep,omitempty"`
+	ServerSweep   []ServerSweepPoint   `json:"server_sweep,omitempty"`
 }
 
 // Load reads and decodes a bench file.
@@ -416,6 +441,27 @@ func RunShardSweep(scale, skew float64) ([]ShardSweepPoint, *experiments.Report,
 	return out, rep, nil
 }
 
+// RunServerSweep produces the server_sweep section: the E29 closed-loop
+// concurrency sweep through the wire protocol.
+func RunServerSweep(scale float64) ([]ServerSweepPoint, *experiments.Report, error) {
+	rep, points, err := experiments.ServerSweep(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]ServerSweepPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, ServerSweepPoint{
+			Clients: p.Clients, MPL: p.MPL, Queries: p.Queries,
+			QueuedWaits: p.QueuedWaits, QueuedNotices: p.QueuedNotices,
+			AdmitTimeouts: p.AdmitTimeouts, QPS: p.QPS,
+			P50MS: p.P50MS, P99MS: p.P99MS, P999MS: p.P999MS, MaxMS: p.MaxMS,
+			MeanCostUnits: p.MeanCostUnits, CostUnits: p.CostUnits,
+			ResultExact: p.ResultExact,
+		})
+	}
+	return out, rep, nil
+}
+
 // SweepKinds lists the sweep kinds RunSweep dispatches, sorted — the
 // -sweep flag's registry, derived from KnownKinds so a new section cannot
 // land without the dispatcher (and the gate) knowing it.
@@ -450,6 +496,8 @@ func RunSweep(kind string, scale, skew float64, res *Result) (*experiments.Repor
 		res.ColumnarSweep, rep, err = RunColumnarSweep(scale)
 	case "shard-sweep":
 		res.ShardSweep, rep, err = RunShardSweep(scale, skew)
+	case "server-sweep":
+		res.ServerSweep, rep, err = RunServerSweep(scale)
 	default:
 		return nil, fmt.Errorf("unknown sweep kind %q (known: %v)", kind, SweepKinds())
 	}

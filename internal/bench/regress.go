@@ -53,6 +53,7 @@ func Compare(base, fresh *Result, tolPct float64) []Violation {
 	out = append(out, compareVecSweep(base.VecSweep, fresh.VecSweep, tolPct)...)
 	out = append(out, compareColumnarSweep(base.ColumnarSweep, fresh.ColumnarSweep, tolPct)...)
 	out = append(out, compareShardSweep(base.ShardSweep, fresh.ShardSweep, tolPct)...)
+	out = append(out, compareServerSweep(base.ServerSweep, fresh.ServerSweep, tolPct)...)
 	out = append(out, compareQueries(base.Queries, fresh.Queries, tolPct)...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Where < out[j].Where })
 	return out
@@ -223,6 +224,36 @@ func compareShardSweep(base, fresh []ShardSweepPoint, tol float64) []Violation {
 	return out
 }
 
+// compareServerSweep gates the service-layer concurrency map. Latency and
+// qps are wall-clock and never gated; what is gated per client count: the
+// deterministic simulated total (only the clients=1 point records one —
+// gateCost skips the concurrent points' zero baselines), exactness (a
+// wrong result under concurrency must fail the gate even when it is
+// timing-dependent and this run merely got unlucky enough to catch it),
+// admission-timeout count staying zero, and point coverage.
+func compareServerSweep(base, fresh []ServerSweepPoint, tol float64) []Violation {
+	var out []Violation
+	byClients := map[int]ServerSweepPoint{}
+	for _, p := range fresh {
+		byClients[p.Clients] = p
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("server_sweep[clients=%d]", b.Clients)
+		f, ok := byClients[b.Clients]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".cost_units", b.CostUnits, f.CostUnits, tol)
+		out = gateExact(out, where+".result_exact", b.ResultExact, f.ResultExact)
+		if b.AdmitTimeouts == 0 && f.AdmitTimeouts > 0 {
+			out = append(out, Violation{Where: where + ".admit_timeouts",
+				Msg: fmt.Sprintf("admission timeouts appeared: 0 -> %d", f.AdmitTimeouts)})
+		}
+	}
+	return out
+}
+
 func compareQueries(base, fresh []Query, tol float64) []Violation {
 	var out []Violation
 	type key struct {
@@ -303,6 +334,17 @@ func Summary(base, fresh *Result, tolPct float64, violations []Violation) string
 				count++
 				if d > worst {
 					worst, worstWhere = d, fmt.Sprintf("shard_sweep[%s,%d,%g]", b.Section, b.Shards, b.Skew)
+				}
+			}
+		}
+	}
+	for _, b := range base.ServerSweep {
+		for _, f := range fresh.ServerSweep {
+			if f.Clients == b.Clients && b.CostUnits > 0 {
+				d := (f.CostUnits - b.CostUnits) / b.CostUnits * 100
+				count++
+				if d > worst {
+					worst, worstWhere = d, fmt.Sprintf("server_sweep[%d]", b.Clients)
 				}
 			}
 		}

@@ -33,6 +33,12 @@ func baseResult() *Result {
 			{Section: "skew", Shards: 4, Skew: 1.3, Mode: "repartition", HotSplit: true,
 				TotalUnits: 2000, MakespanUnits: 900, ResultExact: true, CostExact: true},
 		},
+		ServerSweep: []ServerSweepPoint{
+			{Clients: 1, MPL: 4, Queries: 12, QPS: 500, P50MS: 0.7, P99MS: 1.0,
+				CostUnits: 3000, ResultExact: true},
+			{Clients: 16, MPL: 4, Queries: 192, QPS: 1600, P50MS: 7, P99MS: 14,
+				QueuedNotices: 3, ResultExact: true},
+		},
 		Queries: []Query{
 			{ID: 0, Policy: "classic", Rows: 42, CostUnits: 100},
 		},
@@ -48,6 +54,7 @@ func clone(r *Result) *Result {
 	c.VecSweep = append([]VecSweepPoint(nil), r.VecSweep...)
 	c.ColumnarSweep = append([]ColumnarSweepPoint(nil), r.ColumnarSweep...)
 	c.ShardSweep = append([]ShardSweepPoint(nil), r.ShardSweep...)
+	c.ServerSweep = append([]ServerSweepPoint(nil), r.ServerSweep...)
 	c.Queries = append([]Query(nil), r.Queries...)
 	return &c
 }
@@ -82,13 +89,16 @@ func TestCompareFailsOnInflatedCosts(t *testing.T) {
 		fresh.ColumnarSweep[i].HeapUnits *= 1.20
 		fresh.ColumnarSweep[i].ColUnits *= 1.20
 	}
+	for i := range fresh.ServerSweep {
+		fresh.ServerSweep[i].CostUnits *= 1.20 // only the clients=1 point carries cost
+	}
 	for i := range fresh.Queries {
 		fresh.Queries[i].CostUnits *= 1.20
 	}
 	violations := Compare(base, fresh, 2.0)
-	// 2 mem + 1 filter + 2 dop + 2 vec + 2 columnar units + 1 probe = 10 cost gates.
-	if len(violations) != 10 {
-		t.Fatalf("violations = %d, want 10:\n%v", len(violations), violations)
+	// 2 mem + 1 filter + 2 dop + 2 vec + 2 columnar units + 1 server + 1 probe = 11 cost gates.
+	if len(violations) != 11 {
+		t.Fatalf("violations = %d, want 11:\n%v", len(violations), violations)
 	}
 	for _, v := range violations {
 		if v.DeltaPct < 19.9 || v.DeltaPct > 20.1 {
@@ -279,6 +289,48 @@ func TestCompareShardSweep(t *testing.T) {
 	}
 }
 
+func TestCompareServerSweep(t *testing.T) {
+	base := baseResult()
+
+	// The deterministic clients=1 cost total is gated; a 20% regression
+	// fails a 2% band.
+	fresh := clone(base)
+	fresh.ServerSweep[0].CostUnits *= 1.2
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("20% serial-cost regression passed a 2% gate")
+	}
+
+	// Concurrent points carry no deterministic cost (CostUnits == 0) and
+	// must never be cost-gated, even if wall-clock metrics moved.
+	fresh = clone(base)
+	fresh.ServerSweep[1].QPS *= 0.5
+	fresh.ServerSweep[1].P99MS *= 3
+	if v := Compare(base, fresh, 2.0); len(v) != 0 {
+		t.Fatalf("wall-clock latency/qps movement must not be gated: %v", v)
+	}
+
+	// Exactness decay fails at any concurrency.
+	fresh = clone(base)
+	fresh.ServerSweep[1].ResultExact = false
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("result_exact=false slipped through the gate")
+	}
+
+	// Admission timeouts appearing where the baseline had none fail.
+	fresh = clone(base)
+	fresh.ServerSweep[1].AdmitTimeouts = 2
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("appearing admit timeouts slipped through the gate")
+	}
+
+	// A vanished client-count point is shrunken coverage.
+	fresh = clone(base)
+	fresh.ServerSweep = fresh.ServerSweep[:1]
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("missing server_sweep point passed the gate")
+	}
+}
+
 func TestComparableShardConfig(t *testing.T) {
 	a := testMeta()
 
@@ -298,7 +350,7 @@ func TestComparableShardConfig(t *testing.T) {
 func TestSweepKindsRegistry(t *testing.T) {
 	kinds := SweepKinds()
 	want := map[string]bool{"mem-sweep": true, "filter-sweep": true, "dop-sweep": true,
-		"vec-sweep": true, "columnar-sweep": true, "shard-sweep": true}
+		"vec-sweep": true, "columnar-sweep": true, "shard-sweep": true, "server-sweep": true}
 	if len(kinds) != len(want) {
 		t.Fatalf("SweepKinds() = %v, want the %d sweep kinds", kinds, len(want))
 	}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -226,13 +227,28 @@ type Result struct {
 	Shuffle *exec.ShuffleSnapshot
 }
 
+// ErrAdmissionRejected marks an execution error caused by the WLM gate
+// turning the query away at its multiprogramming limit. Service layers
+// check for it with errors.Is to distinguish "queue and retry" from real
+// statement failures.
+var ErrAdmissionRejected = errors.New("admission rejected")
+
 // Exec parses and executes one statement.
 func (e *Engine) Exec(query string, params ...types.Value) (*Result, error) {
+	return e.ExecCancelable(query, nil, params...)
+}
+
+// ExecCancelable is Exec with a cooperative cancellation hook: a non-nil
+// canceled func is polled before execution and periodically at the root
+// drain loop of SELECTs, and a true return aborts with exec.ErrCanceled.
+// The network service layer threads client Cancel frames and disconnects
+// through here; DDL/DML statements ignore the hook (they are short).
+func (e *Engine) ExecCancelable(query string, canceled func() bool, params ...types.Value) (*Result, error) {
 	st, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.execStmt(st, query, params, false)
+	return e.execStmtCancelable(st, query, params, false, canceled)
 }
 
 // Explain returns the plan for a SELECT without executing it.
@@ -265,6 +281,10 @@ func (e *Engine) Explain(query string, params ...types.Value) (string, error) {
 }
 
 func (e *Engine) execStmt(st sql.Stmt, text string, params []types.Value, explainOnly bool) (*Result, error) {
+	return e.execStmtCancelable(st, text, params, explainOnly, nil)
+}
+
+func (e *Engine) execStmtCancelable(st sql.Stmt, text string, params []types.Value, explainOnly bool, canceled func() bool) (*Result, error) {
 	switch s := st.(type) {
 	case *sql.ExplainStmt:
 		if s.Analyze {
@@ -274,9 +294,9 @@ func (e *Engine) execStmt(st sql.Stmt, text string, params []types.Value, explai
 			}
 			return e.explainAnalyze(sel, params)
 		}
-		return e.execStmt(s.Inner, "", params, true)
+		return e.execStmtCancelable(s.Inner, "", params, true, canceled)
 	case *sql.SelectStmt:
-		return e.runSelect(s, text, params, explainOnly)
+		return e.runSelectCancelable(s, text, params, explainOnly, canceled)
 	case *sql.CreateTableStmt:
 		e.invalidatePlans()
 		return e.execCreateTable(s)
@@ -374,12 +394,12 @@ func (e *Engine) execCreateTable(s *sql.CreateTableStmt) (*Result, error) {
 	return &Result{}, nil
 }
 
-func (e *Engine) runSelect(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool) (*Result, error) {
-	return e.runSelectDepth(s, text, params, explainOnly, 0)
+func (e *Engine) runSelectCancelable(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, canceled func() bool) (*Result, error) {
+	return e.runSelectObserved(s, text, params, explainOnly, 0, false, canceled)
 }
 
 func (e *Engine) runSelectDepth(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, depth int) (*Result, error) {
-	return e.runSelectObserved(s, text, params, explainOnly, depth, false)
+	return e.runSelectObserved(s, text, params, explainOnly, depth, false, nil)
 }
 
 // explainAnalyze executes the SELECT under a tracer and renders the span
@@ -387,7 +407,7 @@ func (e *Engine) runSelectDepth(s *sql.SelectStmt, text string, params []types.V
 // followed by the engine-event log (re-optimizations, cache and memory and
 // admission decisions).
 func (e *Engine) explainAnalyze(sel *sql.SelectStmt, params []types.Value) (*Result, error) {
-	res, err := e.runSelectObserved(sel, "", params, false, 0, true)
+	res, err := e.runSelectObserved(sel, "", params, false, 0, true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +425,7 @@ func (e *Engine) explainAnalyze(sel *sql.SelectStmt, params []types.Value) (*Res
 	return res, nil
 }
 
-func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, depth int, forceTrace bool) (finalRes *Result, finalErr error) {
+func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []types.Value, explainOnly bool, depth int, forceTrace bool, canceled func() bool) (finalRes *Result, finalErr error) {
 	// Lifecycle registration: every top-level executing query gets an ID
 	// and a phase in the live registry, and retires into the completed ring
 	// (and the query log, if a sink is configured) on this function's single
@@ -452,6 +472,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 	}
 	ctx = exec.NewContext()
 	ctx.Params = params
+	ctx.Canceled = canceled
 	if e.Cfg.MemBudgetRows > 0 {
 		ctx.Mem = exec.NewMemBroker(e.Cfg.MemBudgetRows)
 	}
@@ -486,7 +507,7 @@ func (e *Engine) runSelectObserved(s *sql.SelectStmt, text string, params []type
 			if lifecycle != nil {
 				lifecycle.SetPhase(obs.PhaseRejected)
 			}
-			return nil, fmt.Errorf("core: admission rejected (%s)", d)
+			return nil, fmt.Errorf("core: %w (%s)", ErrAdmissionRejected, d)
 		}
 		e.Metrics.Counter("rqp_wlm_admitted_total").Inc()
 		if lifecycle != nil {

@@ -84,17 +84,27 @@ func (a *batchAdapter) Next() (types.Row, bool, error) {
 
 func (a *batchAdapter) Close() error { return a.b.Close() }
 
-// runBatches drains a batch subtree to completion, materializing each output
-// batch into one value slab instead of cloning row by row — the batch-native
-// top of Run when the whole plan vectorized. Output values are identical to
-// runOp over the adapter; only the allocation pattern differs.
-func runBatches(op BatchOperator) ([]types.Row, error) {
+// runBatchesCancelable drains a batch subtree to completion, materializing
+// each output batch into one value slab instead of cloning row by row — the
+// batch-native top of Run when the whole plan vectorized. Output values are
+// identical to runOp over the adapter; only the allocation pattern differs.
+// A non-nil ctx.Canceled is checked once per drained batch (a batch is
+// already the row path's cancelCheckRows-scale unit of work); nil ctx or
+// hook polls nothing.
+func runBatchesCancelable(op BatchOperator, ctx *Context) ([]types.Row, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
 	var out []types.Row
 	var buf Batch
 	for {
+		if ctx != nil && ctx.Canceled != nil && ctx.Canceled() {
+			err := ErrCanceled
+			if cerr := op.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return nil, err
+		}
 		n, err := op.NextBatch(&buf)
 		if err != nil {
 			if cerr := op.Close(); cerr != nil {

@@ -58,7 +58,23 @@ type Context struct {
 	// NoHotSplit disables skew-triggered hot-key splitting (a bench and
 	// experiment control for measuring the unmitigated skew cliff).
 	NoHotSplit bool
+	// Canceled, when non-nil, is polled at the query's root drain loop
+	// (every cancelCheckRows result rows): returning true aborts execution
+	// with ErrCanceled. This is the cooperative cancellation hook the
+	// network service layer uses for client Cancel frames and disconnects;
+	// nil (the default) costs nothing.
+	Canceled func() bool
 }
+
+// cancelCheckRows is how many root result rows flow between Canceled polls:
+// frequent enough that a runaway scan stops promptly, rare enough that the
+// per-row cost of the poll is unmeasurable.
+const cancelCheckRows = 256
+
+// ErrCanceled reports that the query's Canceled hook fired mid-execution.
+// The partial result is discarded; the simulated cost consumed so far stays
+// on the clock (work done is work done).
+var ErrCanceled = errors.New("exec: query canceled")
 
 // NewContext returns a context over a fresh clock and an effectively
 // unlimited memory budget.
@@ -513,22 +529,28 @@ func build(n plan.Node, ctx *Context) (Operator, error) {
 }
 
 // Run executes a plan to completion and returns all result rows. Actual
-// cardinalities are recorded on every node.
+// cardinalities are recorded on every node. When the context carries a
+// Canceled hook it is checked before execution starts and periodically at
+// the root drain loop.
 func Run(n plan.Node, ctx *Context) ([]types.Row, error) {
+	if ctx.Canceled != nil && ctx.Canceled() {
+		return nil, ErrCanceled
+	}
 	op, err := Build(n, ctx)
 	if err != nil {
 		return nil, err
 	}
 	if a, ok := op.(*batchAdapter); ok {
-		return runBatches(a.b)
+		return runBatchesCancelable(a.b, ctx)
 	}
-	return runOp(op)
+	return runOp(op, ctx)
 }
 
 // runOp drains an operator to exhaustion. A Close failure after a Next
 // failure is joined onto the original error rather than discarded, so
-// resource-release problems surface.
-func runOp(op Operator) ([]types.Row, error) {
+// resource-release problems surface. A non-nil ctx.Canceled is polled every
+// cancelCheckRows rows.
+func runOp(op Operator, ctx *Context) ([]types.Row, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -545,6 +567,13 @@ func runOp(op Operator) ([]types.Row, error) {
 			break
 		}
 		out = append(out, r.Clone())
+		if ctx != nil && ctx.Canceled != nil && len(out)%cancelCheckRows == 0 && ctx.Canceled() {
+			err := ErrCanceled
+			if cerr := op.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return nil, err
+		}
 	}
 	return out, op.Close()
 }

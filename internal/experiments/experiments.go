@@ -94,13 +94,14 @@ func Registry() map[string]Runner {
 		"E26": E26VecSweep,
 		"E27": E27ColumnarSweep,
 		"E28": E28ShardSweep,
+		"E29": E29ServerSweep,
 	}
 }
 
 // IDs returns all experiment ids in order.
 func IDs() []string {
-	ids := make([]string, 0, 28)
-	for i := 1; i <= 28; i++ {
+	ids := make([]string, 0, 29)
+	for i := 1; i <= 29; i++ {
 		ids = append(ids, fmt.Sprintf("E%d", i))
 	}
 	return ids

@@ -25,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	if len(IDs()) != 28 {
-		t.Errorf("expected 28 experiments, got %d", len(IDs()))
+	if len(IDs()) != 29 {
+		t.Errorf("expected 29 experiments, got %d", len(IDs()))
 	}
 }
 
@@ -458,5 +458,27 @@ func TestE28ShardSweepInvariants(t *testing.T) {
 	}
 	if r.KV["fpt_in_envelope"] != 1 {
 		t.Errorf("E11 envelope must hold on the sharded makespan")
+	}
+}
+
+func TestE29ServerSweepInvariants(t *testing.T) {
+	r := runE(t, "E29", 0.25)
+	if r.KV["points"] != 3 {
+		t.Errorf("expected 3 concurrency points, got %v", r.KV["points"])
+	}
+	if r.KV["all_exact"] != 1 {
+		t.Errorf("every wire result must match the in-process reference with zero admit timeouts:\n%s",
+			strings.Join(r.Lines, "\n"))
+	}
+	if r.KV["qps_at_mpl"] <= 0 || r.KV["qps_at_4x_mpl"] <= 0 {
+		t.Errorf("throughput must be positive at and past the MPL: %v / %v",
+			r.KV["qps_at_mpl"], r.KV["qps_at_4x_mpl"])
+	}
+	// The robustness claim: past the MPL the server queues, it does not
+	// collapse. Throughput at 4x offered load must hold a healthy fraction
+	// of the plateau (these are wall-clock, so the band is deliberately
+	// loose — exact latency is never asserted).
+	if ratio := r.KV["qps_retained_past_mpl"]; ratio < 0.5 {
+		t.Errorf("throughput collapsed past the MPL: retained ratio %v", ratio)
 	}
 }

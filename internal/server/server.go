@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rqp/internal/core"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine is the database instance served over the wire. Its
+	// Cfg.Admission gate (if any) is the server's admission control: full
+	// gates queue sessions FIFO instead of failing them.
+	Engine *core.Engine
+	// QueueTimeout bounds how long a session waits in the admission queue
+	// before its statement fails with ERR_ADMIT (default 10s).
+	QueueTimeout time.Duration
+	// MaxFrame caps a frame payload in bytes (default MaxFrame, 1 MiB).
+	MaxFrame int
+	// BeforeExec, when non-nil, runs on the session goroutine immediately
+	// before each admitted statement executes, with the session's live
+	// cancel predicate. It exists for tests that need to hold a statement
+	// mid-flight deterministically (cancel and disconnect races); production
+	// servers leave it nil.
+	BeforeExec func(sessionID uint64, sql string, canceled func() bool)
+}
+
+// Server accepts wire-protocol connections and runs one session per
+// connection against a shared engine.
+type Server struct {
+	eng          *core.Engine
+	queueTimeout time.Duration
+	maxFrame     int
+	beforeExec   func(uint64, string, func() bool)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+	nextID   atomic.Uint64
+	sessions atomic.Int64 // currently open sessions
+	wg       sync.WaitGroup
+}
+
+// New builds a Server around an engine.
+func New(cfg Config) *Server {
+	qt := cfg.QueueTimeout
+	if qt <= 0 {
+		qt = 10 * time.Second
+	}
+	mf := cfg.MaxFrame
+	if mf <= 0 {
+		mf = MaxFrame
+	}
+	return &Server{
+		eng:          cfg.Engine,
+		queueTimeout: qt,
+		maxFrame:     mf,
+		beforeExec:   cfg.BeforeExec,
+	}
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Listen starts listening on addr (e.g. ":5433" or "127.0.0.1:0") without
+// serving yet, so callers can read Addr before clients connect.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return nil
+}
+
+// Addr reports the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Close. Call after Listen; it blocks.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe combines Listen and Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting and waits for in-flight sessions to finish their
+// current command cycle (live connections are closed, which cancels their
+// queries cooperatively).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close() // session readers observe the dead conn and cancel queries
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Sessions reports the number of currently open sessions.
+func (s *Server) Sessions() int { return int(s.sessions.Load()) }
+
+// handle runs one connection's session.
+func (s *Server) handle(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	sess := &session{
+		id:     s.nextID.Add(1),
+		srv:    s,
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 32<<10),
+		frames: make(chan Frame),
+		done:   make(chan struct{}),
+		stmts:  make(map[string]*prepared),
+	}
+	sess.serve()
+}

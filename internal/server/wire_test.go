@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"rqp/internal/types"
+)
+
+// TestFrameRoundTrip checks the frame envelope itself: header layout,
+// payload fidelity, and clean EOF between frames.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		f, err := ReadFrame(&buf, MaxFrame)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if f.Type != byte(i+1) {
+			t.Fatalf("frame %d: type %#x, want %#x", i, f.Type, i+1)
+		}
+		if len(f.Payload) != len(p) || (len(p) > 0 && !bytes.Equal(f.Payload, p)) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf, MaxFrame); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+// TestFrameTooLarge checks the allocation guard: a length prefix above the
+// cap must fail with ErrFrameTooLarge before any payload read.
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgQuery, make([]byte, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFrame(&buf, 1024)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+	if !errors.Is(err, ErrProto) {
+		t.Fatalf("oversize should also be a protocol error, got %v", err)
+	}
+}
+
+// TestFrameTruncated checks that a stream dying inside a frame yields
+// ErrUnexpectedEOF, distinct from a clean between-frames EOF.
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgQuery, []byte("SELECT 1")); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < buf.Len(); cut++ {
+		r := bytes.NewReader(buf.Bytes()[:cut])
+		if _, err := ReadFrame(r, MaxFrame); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: expected ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+// sampleValues exercises every wire value kind, including zero and negative
+// edge cases.
+func sampleValues() []types.Value {
+	return []types.Value{
+		types.Null(),
+		types.Int(0),
+		types.Int(-1),
+		types.Int(1<<62 + 12345),
+		types.Float(3.25),
+		types.Float(-0.0),
+		types.Str(""),
+		types.Str("hello, wire"),
+		types.Bool(true),
+		types.Bool(false),
+		types.Date(19000),
+	}
+}
+
+// TestMessageRoundTrips encodes and decodes every message type in the
+// protocol — the acceptance criterion that no frame kind ships without a
+// round-trip test. reflect.DeepEqual on the decoded struct catches silent
+// field drops.
+func TestMessageRoundTrips(t *testing.T) {
+	cases := []struct {
+		name   string
+		typ    byte
+		msg    interface{ Encode() []byte }
+		decode func([]byte) (any, error)
+	}{
+		{"Startup", MsgStartup,
+			StartupMsg{Version: ProtocolVersion, Options: map[string]string{"client": "test", "db": "star"}},
+			func(p []byte) (any, error) { return DecodeStartup(p) }},
+		{"StartupNoOptions", MsgStartup,
+			StartupMsg{Version: 7},
+			func(p []byte) (any, error) { return DecodeStartup(p) }},
+		{"Query", MsgQuery,
+			QueryMsg{SQL: "SELECT a FROM r WHERE b = ?", Params: sampleValues()},
+			func(p []byte) (any, error) { return DecodeQuery(p) }},
+		{"QueryNoParams", MsgQuery,
+			QueryMsg{SQL: "SELECT 1 FROM r"},
+			func(p []byte) (any, error) { return DecodeQuery(p) }},
+		{"Prepare", MsgPrepare,
+			PrepareMsg{Name: "q1", SQL: "SELECT a FROM r WHERE b = ?"},
+			func(p []byte) (any, error) { return DecodePrepare(p) }},
+		{"Bind", MsgBind,
+			BindMsg{Name: "q1", Params: sampleValues()},
+			func(p []byte) (any, error) { return DecodeBind(p) }},
+		{"Execute", MsgExecute,
+			ExecuteMsg{MaxRows: 500},
+			func(p []byte) (any, error) { return DecodeExecute(p) }},
+		{"Close", MsgClose,
+			CloseMsg{Name: "q1"},
+			func(p []byte) (any, error) { return DecodeClose(p) }},
+		{"Ready", MsgReady,
+			ReadyMsg{SessionID: 42, Status: statusIdle},
+			func(p []byte) (any, error) { return DecodeReady(p) }},
+		{"RowDesc", MsgRowDesc,
+			RowDescMsg{Columns: []string{"a", "b", "sum_c"}},
+			func(p []byte) (any, error) { return DecodeRowDesc(p) }},
+		{"RowDescEmpty", MsgRowDesc,
+			RowDescMsg{},
+			func(p []byte) (any, error) { return DecodeRowDesc(p) }},
+		{"Row", MsgRow,
+			RowMsg{Values: sampleValues()},
+			func(p []byte) (any, error) { return DecodeRow(p) }},
+		{"Complete", MsgComplete,
+			CompleteMsg{Tag: "SELECT", Rows: 1234, CostUnits: 987.5},
+			func(p []byte) (any, error) { return DecodeComplete(p) }},
+		{"Error", MsgError,
+			ErrorMsg{Code: CodeExec, Message: "join exploded"},
+			func(p []byte) (any, error) { return DecodeError(p) }},
+		{"Notice", MsgNotice,
+			NoticeMsg{Code: NoticeQueued, Message: "gate full"},
+			func(p []byte) (any, error) { return DecodeNotice(p) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := tc.msg.Encode()
+
+			// Through the full frame envelope, not just the payload.
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, tc.typ, enc); err != nil {
+				t.Fatal(err)
+			}
+			f, err := ReadFrame(&buf, MaxFrame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Type != tc.typ {
+				t.Fatalf("type %#x, want %#x", f.Type, tc.typ)
+			}
+
+			got, err := tc.decode(f.Payload)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			want := reflect.ValueOf(tc.msg).Interface()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, want)
+			}
+
+			// Re-encoding the decoded message must be byte-identical — the
+			// property that makes the encoding canonical.
+			re := got.(interface{ Encode() []byte }).Encode()
+			if !bytes.Equal(re, enc) {
+				t.Fatalf("re-encode not canonical:\n got %x\nwant %x", re, enc)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage checks that every decoder refuses
+// payloads with bytes past the message end — over-long payloads must not
+// silently pass.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	p := append(QueryMsg{SQL: "SELECT 1 FROM r"}.Encode(), 0xFF)
+	if _, err := DecodeQuery(p); !errors.Is(err, ErrProto) {
+		t.Fatalf("expected ErrProto on trailing garbage, got %v", err)
+	}
+}
+
+// TestDecodeRejectsTruncation walks every prefix of a composite payload
+// through its decoder: all must fail cleanly (no panic, ErrProto).
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full := QueryMsg{SQL: "SELECT a FROM r WHERE b = ?", Params: sampleValues()}.Encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeQuery(full[:cut]); !errors.Is(err, ErrProto) {
+			t.Fatalf("cut at %d: expected ErrProto, got %v", cut, err)
+		}
+	}
+}
+
+// TestDecodeRejectsUnknownValueKind checks the value decoder's kind guard.
+func TestDecodeRejectsUnknownValueKind(t *testing.T) {
+	w := &wireWriter{}
+	w.str("SELECT ?")
+	w.u16(1)
+	w.byte(0x7F) // no such kind
+	if _, err := DecodeQuery(w.buf); !errors.Is(err, ErrProto) {
+		t.Fatalf("expected ErrProto on unknown kind, got %v", err)
+	}
+}
+
+// TestHostileCountPrefix checks that a huge declared count with a tiny
+// payload fails without attempting a giant allocation.
+func TestHostileCountPrefix(t *testing.T) {
+	w := &wireWriter{}
+	w.str("SELECT ?")
+	w.u16(0xFFFF) // claims 65535 params, provides none
+	if _, err := DecodeQuery(w.buf); !errors.Is(err, ErrProto) {
+		t.Fatalf("expected ErrProto on hostile count, got %v", err)
+	}
+}
+
+// FuzzFrame feeds raw bytes through the frame reader and all message
+// decoders: nothing may panic, and whatever decodes must re-encode
+// canonically.
+func FuzzFrame(f *testing.F) {
+	// Seed corpus: every valid message framed, plus deliberately malformed
+	// frames — truncated header, oversized length prefix, trailing garbage,
+	// unknown value kind, hostile count.
+	seed := func(typ byte, payload []byte) {
+		var buf bytes.Buffer
+		WriteFrame(&buf, typ, payload)
+		f.Add(buf.Bytes())
+	}
+	seed(MsgStartup, StartupMsg{Version: ProtocolVersion, Options: map[string]string{"a": "b"}}.Encode())
+	seed(MsgQuery, QueryMsg{SQL: "SELECT a FROM r", Params: sampleValues()}.Encode())
+	seed(MsgPrepare, PrepareMsg{Name: "q", SQL: "SELECT 1 FROM r"}.Encode())
+	seed(MsgBind, BindMsg{Name: "q", Params: sampleValues()}.Encode())
+	seed(MsgExecute, ExecuteMsg{MaxRows: 7}.Encode())
+	seed(MsgClose, CloseMsg{Name: "q"}.Encode())
+	seed(MsgReady, ReadyMsg{SessionID: 1, Status: statusIdle}.Encode())
+	seed(MsgRowDesc, RowDescMsg{Columns: []string{"a"}}.Encode())
+	seed(MsgRow, RowMsg{Values: sampleValues()}.Encode())
+	seed(MsgComplete, CompleteMsg{Tag: "SELECT", Rows: 1, CostUnits: 2}.Encode())
+	seed(MsgError, ErrorMsg{Code: CodeProto, Message: "x"}.Encode())
+	seed(MsgNotice, NoticeMsg{Code: NoticeQueued, Message: "y"}.Encode())
+	f.Add([]byte{})                                         // empty stream
+	f.Add([]byte{MsgQuery})                                 // truncated header
+	f.Add([]byte{MsgQuery, 0xFF, 0xFF, 0xFF, 0xFF})         // oversized length
+	f.Add([]byte{MsgQuery, 0, 0, 0, 2, 'a'})                // short payload
+	f.Add(append([]byte{MsgQuery, 0, 0, 0, 5}, "abcde"...)) // garbage SQL length
+	{
+		w := &wireWriter{}
+		w.str("SELECT ?")
+		w.u16(0xFFFF)
+		seed(MsgQuery, w.buf)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadFrame(r, MaxFrame)
+		if err != nil {
+			return // malformed envelope: rejected is the right outcome
+		}
+		p := fr.Payload
+		// Run every decoder over the payload regardless of the type byte —
+		// decoders must be safe on arbitrary bytes.
+		DecodeStartup(p)
+		DecodePrepare(p)
+		DecodeBind(p)
+		DecodeExecute(p)
+		DecodeClose(p)
+		DecodeReady(p)
+		DecodeRowDesc(p)
+		DecodeComplete(p)
+		DecodeError(p)
+		DecodeNotice(p)
+		if m, err := DecodeQuery(p); err == nil {
+			if !bytes.Equal(m.Encode(), p) {
+				t.Fatalf("accepted Query payload is not canonical: %x", p)
+			}
+		}
+		if m, err := DecodeRow(p); err == nil {
+			if !bytes.Equal(m.Encode(), p) {
+				t.Fatalf("accepted Row payload is not canonical: %x", p)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package wlm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // MemReclaimable is a per-query memory budget the workload manager can
@@ -36,6 +37,13 @@ type Admitter struct {
 	memPool     int // total workspace rows shared by running queries; 0 = none
 	attached    []MemReclaimable
 	memReclaims int64
+	// waiters are queued sessions parked in WaitSlot; Done closes the
+	// oldest channel so exactly one waiter wakes per released slot (FIFO —
+	// the arrival-order fairness a service layer needs so no session starves
+	// behind later arrivals).
+	waiters   []chan struct{}
+	queued    int64
+	queuePeak int
 }
 
 // NewAdmitter returns a gate admitting at most mpl concurrent queries
@@ -102,13 +110,85 @@ func (a *Admitter) GrantDOP(want int) int {
 	return want
 }
 
-// Done releases a previously admitted slot.
+// Done releases a previously admitted slot and wakes the oldest queued
+// WaitSlot caller, if any.
 func (a *Admitter) Done() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.active > 0 {
 		a.active--
 	}
+	a.wakeLocked()
+}
+
+// wakeLocked releases the oldest parked waiter when headroom exists. One
+// wake per freed slot: the woken session re-runs TryAdmit itself, so waking
+// more than the headroom would only cause rejected races.
+func (a *Admitter) wakeLocked() {
+	if len(a.waiters) > 0 && (a.mpl <= 0 || a.active < a.mpl) {
+		ch := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		close(ch)
+	}
+}
+
+// HasCapacity reports whether a TryAdmit issued right now would succeed. It
+// is advisory — a concurrent arrival can take the slot between the peek and
+// the TryAdmit — so callers must still handle rejection.
+func (a *Admitter) HasCapacity() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mpl <= 0 || a.active < a.mpl
+}
+
+// WaitSlot parks the caller until an admitted query departs (Done) or the
+// timeout elapses, and reports whether it was woken by a departure. It is
+// the queueing half of admission control: TryAdmit stays an instantaneous
+// yes/no, and sessions that choose to queue rather than fail park here in
+// FIFO order. A gate with headroom (or no limit) returns true immediately.
+// The caller must still TryAdmit afterwards — a slot observed free can be
+// taken by a concurrent arrival.
+func (a *Admitter) WaitSlot(timeout time.Duration) bool {
+	a.mu.Lock()
+	if a.mpl <= 0 || a.active < a.mpl {
+		a.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	a.waiters = append(a.waiters, ch)
+	a.queued++
+	if len(a.waiters) > a.queuePeak {
+		a.queuePeak = len(a.waiters)
+	}
+	a.mu.Unlock()
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		a.mu.Lock()
+		for i, cand := range a.waiters {
+			if cand == ch {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.mu.Unlock()
+				return false
+			}
+		}
+		a.mu.Unlock()
+		// Done closed the channel between the timer firing and the lock:
+		// the wake-up belongs to this caller, so take it.
+		return true
+	}
+}
+
+// QueueStats reports lifetime queued waits, the current queue depth, and
+// the peak depth — the service layer's backpressure gauges.
+func (a *Admitter) QueueStats() (queued int64, depth, peak int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, len(a.waiters), a.queuePeak
 }
 
 // Stats reports lifetime admissions, rejections, current and peak
