@@ -39,9 +39,13 @@ import (
 
 	"rqp/internal/bench"
 	"rqp/internal/experiments"
+	"rqp/internal/server"
 )
 
 func main() {
+	// The netshuffle sweep (E30) spawns worker processes by re-executing
+	// this binary; a spawned copy must become a worker, not run the bench.
+	server.MaybeRunShardWorker()
 	var (
 		exps     = flag.String("e", "", "comma-separated experiment ids (default: all)")
 		scale    = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
@@ -105,6 +109,12 @@ func main() {
 		if *alias.on {
 			addKind(alias.kind)
 		}
+	}
+	// Fail fast on a misspelled kind — before any experiment burns minutes
+	// of sweep time only for the batch to die halfway through.
+	if err := bench.ValidateSweepKinds(kinds); err != nil {
+		fmt.Fprintf(os.Stderr, "rqpbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	anySweep := len(kinds) > 0

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"rqp/internal/bench"
+	"rqp/internal/server"
 )
 
 // freshFor regenerates, in-process, every section the baseline contains,
@@ -80,6 +81,13 @@ func freshFor(base *bench.Result) (*bench.Result, error) {
 		}
 		fresh.ServerSweep = points
 	}
+	if len(base.NetShuffleSweep) > 0 {
+		points, _, err := bench.RunNetShuffleSweep(m.Scale, m.Skew)
+		if err != nil {
+			return nil, fmt.Errorf("netshuffle-sweep: %w", err)
+		}
+		fresh.NetShuffleSweep = points
+	}
 	if len(base.Queries) > 0 {
 		qs, err := bench.ProbeQueries(m.Scale, m.DOP, m.Vec, m.Shards)
 		if err != nil {
@@ -91,6 +99,9 @@ func freshFor(base *bench.Result) (*bench.Result, error) {
 }
 
 func main() {
+	// The netshuffle sweep spawns worker processes by re-executing this
+	// binary; a spawned copy must become a worker, not run the gate.
+	server.MaybeRunShardWorker()
 	var (
 		tol       = flag.Float64("tol", 2.0, "allowed cost increase in percent before the gate fails")
 		freshPath = flag.String("fresh", "",

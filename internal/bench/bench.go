@@ -102,15 +102,16 @@ func NewMeta(kind string, scale float64, dop int, vec, rf bool, memRows, shards 
 // compare none of its points — exactly the failure mode the gate exists to
 // prevent. Compare refuses files whose kind is not registered.
 var KnownKinds = map[string]bool{
-	"probes":         true,
-	"mem-sweep":      true,
-	"filter-sweep":   true,
-	"dop-sweep":      true,
-	"vec-sweep":      true,
-	"columnar-sweep": true,
-	"shard-sweep":    true,
-	"server-sweep":   true,
-	"mixed":          true,
+	"probes":           true,
+	"mem-sweep":        true,
+	"filter-sweep":     true,
+	"dop-sweep":        true,
+	"vec-sweep":        true,
+	"columnar-sweep":   true,
+	"shard-sweep":      true,
+	"server-sweep":     true,
+	"netshuffle-sweep": true,
+	"mixed":            true,
 }
 
 // Comparable reports whether two metas describe the same experiment
@@ -261,6 +262,36 @@ type ServerSweepPoint struct {
 	ResultExact   bool    `json:"result_exact"`
 }
 
+// NetShuffleSweepPoint is one rung of the network-shuffle robustness map:
+// the E28 shard-join matrix re-run with every exchange carried over TCP to
+// spawned worker processes. Main-clock fields and wire totals (frames,
+// bytes, rows) are deterministic — fixed batch seal points and a canonical
+// encoding — so the gate diffs them; NetStalls is timing-dependent
+// (credit-window backpressure) and is recorded but never gated.
+type NetShuffleSweepPoint struct {
+	Section       string  `json:"section"`
+	Shards        int     `json:"shards"`
+	Skew          float64 `json:"skew"`
+	HotSplit      bool    `json:"hot_split"`
+	Mode          string  `json:"mode"`
+	Workers       string  `json:"workers,omitempty"`
+	Transport     string  `json:"transport,omitempty"`
+	TotalUnits    float64 `json:"total_units"`
+	MakespanUnits float64 `json:"makespan_units"`
+	RowsMoved     int64   `json:"rows_moved"`
+	RowsBroadcast int64   `json:"rows_broadcast"`
+	HotKeys       int64   `json:"hot_keys"`
+	NetFrames     int64   `json:"net_frames"`
+	NetBytes      int64   `json:"net_bytes"`
+	NetRowsWire   int64   `json:"net_rows_wire"`
+	NetStalls     int64   `json:"net_stalls"`
+	PeerFrames    []int64 `json:"peer_frames,omitempty"`
+	PeerBytes     []int64 `json:"peer_bytes,omitempty"`
+	Reconciled    bool    `json:"reconciled"`
+	ResultExact   bool    `json:"result_exact"`
+	CostExact     bool    `json:"cost_exact"`
+}
+
 // Result is one bench file: the meta header plus whichever sections the
 // run produced.
 type Result struct {
@@ -274,6 +305,8 @@ type Result struct {
 	ColumnarSweep []ColumnarSweepPoint `json:"columnar_sweep,omitempty"`
 	ShardSweep    []ShardSweepPoint    `json:"shard_sweep,omitempty"`
 	ServerSweep   []ServerSweepPoint   `json:"server_sweep,omitempty"`
+
+	NetShuffleSweep []NetShuffleSweepPoint `json:"netshuffle_sweep,omitempty"`
 }
 
 // Load reads and decodes a bench file.
@@ -462,6 +495,31 @@ func RunServerSweep(scale float64) ([]ServerSweepPoint, *experiments.Report, err
 	return out, rep, nil
 }
 
+// RunNetShuffleSweep produces the netshuffle_sweep section: the E30 sweep
+// over spawned worker processes. The caller's binary must run
+// server.MaybeRunShardWorker() at startup so the re-exec'd copies become
+// workers. skew > 0 narrows the skew ladder to that single Zipf parameter.
+func RunNetShuffleSweep(scale, skew float64) ([]NetShuffleSweepPoint, *experiments.Report, error) {
+	rep, points, err := experiments.NetShuffleSweep(scale, skew)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]NetShuffleSweepPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, NetShuffleSweepPoint{
+			Section: p.Section, Shards: p.Shards, Skew: p.Skew,
+			HotSplit: p.HotSplit, Mode: p.Mode, Workers: p.Workers,
+			Transport:  p.Transport,
+			TotalUnits: p.TotalUnits, MakespanUnits: p.MakespanUnits,
+			RowsMoved: p.RowsMoved, RowsBroadcast: p.RowsBroadcast, HotKeys: p.HotKeys,
+			NetFrames: p.NetFrames, NetBytes: p.NetBytes, NetRowsWire: p.NetRowsWire,
+			NetStalls: p.NetStalls, PeerFrames: p.PeerFrames, PeerBytes: p.PeerBytes,
+			Reconciled: p.Reconciled, ResultExact: p.ResultExact, CostExact: p.CostExact,
+		})
+	}
+	return out, rep, nil
+}
+
 // SweepKinds lists the sweep kinds RunSweep dispatches, sorted — the
 // -sweep flag's registry, derived from KnownKinds so a new section cannot
 // land without the dispatcher (and the gate) knowing it.
@@ -477,8 +535,19 @@ func SweepKinds() []string {
 	return kinds
 }
 
+// ValidateSweepKinds rejects the first kind RunSweep would not dispatch,
+// naming the registry — so callers can fail fast before running anything.
+func ValidateSweepKinds(kinds []string) error {
+	for _, k := range kinds {
+		if !KnownKinds[k] || k == "probes" || k == "mixed" {
+			return fmt.Errorf("unknown sweep kind %q (known: %v)", k, SweepKinds())
+		}
+	}
+	return nil
+}
+
 // RunSweep runs one sweep kind by name and stores its section into res.
-// skew only affects the shard sweep. Unknown kinds list the registry in
+// skew only affects the shard and netshuffle sweeps. Unknown kinds list the registry in
 // the error.
 func RunSweep(kind string, scale, skew float64, res *Result) (*experiments.Report, error) {
 	var rep *experiments.Report
@@ -498,6 +567,8 @@ func RunSweep(kind string, scale, skew float64, res *Result) (*experiments.Repor
 		res.ShardSweep, rep, err = RunShardSweep(scale, skew)
 	case "server-sweep":
 		res.ServerSweep, rep, err = RunServerSweep(scale)
+	case "netshuffle-sweep":
+		res.NetShuffleSweep, rep, err = RunNetShuffleSweep(scale, skew)
 	default:
 		return nil, fmt.Errorf("unknown sweep kind %q (known: %v)", kind, SweepKinds())
 	}

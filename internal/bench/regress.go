@@ -54,6 +54,7 @@ func Compare(base, fresh *Result, tolPct float64) []Violation {
 	out = append(out, compareColumnarSweep(base.ColumnarSweep, fresh.ColumnarSweep, tolPct)...)
 	out = append(out, compareShardSweep(base.ShardSweep, fresh.ShardSweep, tolPct)...)
 	out = append(out, compareServerSweep(base.ServerSweep, fresh.ServerSweep, tolPct)...)
+	out = append(out, compareNetShuffleSweep(base.NetShuffleSweep, fresh.NetShuffleSweep, tolPct)...)
 	out = append(out, compareQueries(base.Queries, fresh.Queries, tolPct)...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Where < out[j].Where })
 	return out
@@ -224,6 +225,60 @@ func compareShardSweep(base, fresh []ShardSweepPoint, tol float64) []Violation {
 	return out
 }
 
+// compareNetShuffleSweep gates the network-shuffle map point by point.
+// Deterministic fields only: the main clock (makespan, total), the wire
+// totals (frames, bytes, rows — fixed batch seal points and a canonical
+// encoding make these reproducible across machines), exactness and
+// reconciliation flags, and the zero-bytes guarantee for co-located joins.
+// NetStalls is credit-window timing and is never gated.
+func compareNetShuffleSweep(base, fresh []NetShuffleSweepPoint, tol float64) []Violation {
+	var out []Violation
+	type key struct {
+		section  string
+		shards   int
+		skew     string
+		hotSplit bool
+		mode     string
+		workers  string
+	}
+	mk := func(p NetShuffleSweepPoint) key {
+		return key{p.Section, p.Shards, fmt.Sprintf("%g", p.Skew), p.HotSplit, p.Mode, p.Workers}
+	}
+	byKey := map[key]NetShuffleSweepPoint{}
+	for _, p := range fresh {
+		byKey[mk(p)] = p
+	}
+	for _, b := range base {
+		where := fmt.Sprintf("netshuffle_sweep[section=%s,shards=%d,skew=%g,split=%v,mode=%s]",
+			b.Section, b.Shards, b.Skew, b.HotSplit, b.Mode)
+		f, ok := byKey[mk(b)]
+		if !ok {
+			out = append(out, missing(where))
+			continue
+		}
+		out = gateCost(out, where+".makespan_units", b.MakespanUnits, f.MakespanUnits, tol)
+		out = gateCost(out, where+".total_units", b.TotalUnits, f.TotalUnits, tol)
+		out = gateCost(out, where+".net_frames", float64(b.NetFrames), float64(f.NetFrames), tol)
+		out = gateCost(out, where+".net_bytes", float64(b.NetBytes), float64(f.NetBytes), tol)
+		out = gateCost(out, where+".net_rows_wire", float64(b.NetRowsWire), float64(f.NetRowsWire), tol)
+		out = gateExact(out, where+".result_exact", b.ResultExact, f.ResultExact)
+		out = gateExact(out, where+".cost_exact", b.CostExact, f.CostExact)
+		out = gateExact(out, where+".reconciled", b.Reconciled, f.Reconciled)
+		// A point that put nothing on the wire (co-located, serial, local
+		// fallback) must stay off the wire: gateCost skips zero baselines,
+		// so pin zero-stays-zero explicitly.
+		if b.NetBytes == 0 && f.NetBytes > 0 {
+			out = append(out, Violation{Where: where + ".net_bytes",
+				Msg: fmt.Sprintf("wire traffic appeared: 0 -> %d bytes", f.NetBytes)})
+		}
+		if b.Transport != f.Transport {
+			out = append(out, Violation{Where: where + ".transport",
+				Msg: fmt.Sprintf("transport changed: %q -> %q", b.Transport, f.Transport)})
+		}
+	}
+	return out
+}
+
 // compareServerSweep gates the service-layer concurrency map. Latency and
 // qps are wall-clock and never gated; what is gated per client count: the
 // deterministic simulated total (only the clients=1 point records one —
@@ -334,6 +389,19 @@ func Summary(base, fresh *Result, tolPct float64, violations []Violation) string
 				count++
 				if d > worst {
 					worst, worstWhere = d, fmt.Sprintf("shard_sweep[%s,%d,%g]", b.Section, b.Shards, b.Skew)
+				}
+			}
+		}
+	}
+	for _, b := range base.NetShuffleSweep {
+		for _, f := range fresh.NetShuffleSweep {
+			if f.Section == b.Section && f.Shards == b.Shards && f.Skew == b.Skew &&
+				f.HotSplit == b.HotSplit && f.Mode == b.Mode && f.Workers == b.Workers &&
+				b.NetBytes > 0 {
+				d := float64(f.NetBytes-b.NetBytes) / float64(b.NetBytes) * 100
+				count++
+				if d > worst {
+					worst, worstWhere = d, fmt.Sprintf("netshuffle_sweep[%s,%d,%g]", b.Section, b.Shards, b.Skew)
 				}
 			}
 		}

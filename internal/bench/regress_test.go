@@ -39,6 +39,14 @@ func baseResult() *Result {
 			{Clients: 16, MPL: 4, Queries: 192, QPS: 1600, P50MS: 7, P99MS: 14,
 				QueuedNotices: 3, ResultExact: true},
 		},
+		NetShuffleSweep: []NetShuffleSweepPoint{
+			{Section: "uniform", Shards: 4, Mode: "repartition", HotSplit: true, Transport: "tcp",
+				TotalUnits: 1000, MakespanUnits: 400, NetFrames: 40, NetBytes: 90000,
+				NetRowsWire: 4000, NetStalls: 7, Reconciled: true, ResultExact: true, CostExact: true},
+			{Section: "colocated", Shards: 4, Mode: "colocated", HotSplit: true, Transport: "tcp",
+				TotalUnits: 1000, MakespanUnits: 300,
+				Reconciled: true, ResultExact: true, CostExact: true},
+		},
 		Queries: []Query{
 			{ID: 0, Policy: "classic", Rows: 42, CostUnits: 100},
 		},
@@ -55,6 +63,7 @@ func clone(r *Result) *Result {
 	c.ColumnarSweep = append([]ColumnarSweepPoint(nil), r.ColumnarSweep...)
 	c.ShardSweep = append([]ShardSweepPoint(nil), r.ShardSweep...)
 	c.ServerSweep = append([]ServerSweepPoint(nil), r.ServerSweep...)
+	c.NetShuffleSweep = append([]NetShuffleSweepPoint(nil), r.NetShuffleSweep...)
 	c.Queries = append([]Query(nil), r.Queries...)
 	return &c
 }
@@ -331,6 +340,59 @@ func TestCompareServerSweep(t *testing.T) {
 	}
 }
 
+func TestCompareNetShuffleSweep(t *testing.T) {
+	base := baseResult()
+
+	// Identical wire totals pass; stalls are timing and never gated.
+	fresh := clone(base)
+	fresh.NetShuffleSweep[0].NetStalls = 900
+	if v := Compare(base, fresh, 2.0); len(v) != 0 {
+		t.Fatalf("credit-stall movement must not be gated: %v", v)
+	}
+
+	// Frame-count bloat past tolerance fails: the batching win is the
+	// point of the transport.
+	fresh = clone(base)
+	fresh.NetShuffleSweep[0].NetFrames *= 2
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("2x frame bloat passed a 2% gate")
+	}
+	fresh = clone(base)
+	fresh.NetShuffleSweep[0].NetBytes = int64(float64(base.NetShuffleSweep[0].NetBytes) * 1.2)
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("20% byte bloat passed a 2% gate")
+	}
+
+	// Reconciliation decay fails — routed rows must equal framed rows.
+	fresh = clone(base)
+	fresh.NetShuffleSweep[0].Reconciled = false
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("reconciled=false slipped through the gate")
+	}
+
+	// A co-located point that starts emitting bytes fails even though
+	// gateCost skips zero baselines.
+	fresh = clone(base)
+	fresh.NetShuffleSweep[1].NetBytes = 4096
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("wire traffic on a zero-byte baseline passed the gate")
+	}
+
+	// A transport flip (tcp -> local fallback) is a behavior change.
+	fresh = clone(base)
+	fresh.NetShuffleSweep[0].Transport = "local"
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("transport change passed the gate")
+	}
+
+	// A vanished point is shrunken coverage.
+	fresh = clone(base)
+	fresh.NetShuffleSweep = fresh.NetShuffleSweep[:1]
+	if v := Compare(base, fresh, 2.0); len(v) == 0 {
+		t.Fatal("missing netshuffle_sweep point passed the gate")
+	}
+}
+
 func TestComparableShardConfig(t *testing.T) {
 	a := testMeta()
 
@@ -350,7 +412,8 @@ func TestComparableShardConfig(t *testing.T) {
 func TestSweepKindsRegistry(t *testing.T) {
 	kinds := SweepKinds()
 	want := map[string]bool{"mem-sweep": true, "filter-sweep": true, "dop-sweep": true,
-		"vec-sweep": true, "columnar-sweep": true, "shard-sweep": true, "server-sweep": true}
+		"vec-sweep": true, "columnar-sweep": true, "shard-sweep": true, "server-sweep": true,
+		"netshuffle-sweep": true}
 	if len(kinds) != len(want) {
 		t.Fatalf("SweepKinds() = %v, want the %d sweep kinds", kinds, len(want))
 	}
@@ -364,5 +427,36 @@ func TestSweepKindsRegistry(t *testing.T) {
 	}
 	if _, err := RunSweep("no-such-sweep", 1, 0, &Result{}); err == nil {
 		t.Error("unknown sweep kind must error")
+	}
+}
+
+// TestValidateSweepKinds pins the fail-fast path rqpbench uses before any
+// experiment runs: a misspelled kind is rejected up front and the error
+// names every kind that would have worked.
+func TestValidateSweepKinds(t *testing.T) {
+	if err := ValidateSweepKinds(SweepKinds()); err != nil {
+		t.Fatalf("all registered sweep kinds must validate: %v", err)
+	}
+	err := ValidateSweepKinds([]string{"mem-sweep", "shardsweep"})
+	if err == nil {
+		t.Fatal("misspelled kind must fail validation")
+	}
+	if !strings.Contains(err.Error(), `"shardsweep"`) {
+		t.Errorf("error must name the bad kind: %v", err)
+	}
+	for _, k := range SweepKinds() {
+		if !strings.Contains(err.Error(), k) {
+			t.Errorf("error must list known kind %q: %v", k, err)
+		}
+	}
+	// Kinds that exist in KnownKinds but are not sweeps are not valid
+	// -sweep arguments either.
+	for _, k := range []string{"probes", "mixed"} {
+		if err := ValidateSweepKinds([]string{k}); err == nil {
+			t.Errorf("%q is not a sweep and must be rejected", k)
+		}
+	}
+	if err := ValidateSweepKinds(nil); err != nil {
+		t.Errorf("empty kind list must validate: %v", err)
 	}
 }

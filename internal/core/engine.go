@@ -125,6 +125,12 @@ type Config struct {
 	// not split across shards even when per-shard row counters detect a
 	// hot shard. Used by benchmarks to measure the skew cliff.
 	ShardNoHotSplit bool
+	// ShuffleTransport, when non-nil, carries sharded joins' exchanges —
+	// e.g. the server package's TCP transport to shard worker processes.
+	// Nil keeps the in-process transport=local fast path. Results and
+	// main-clock cost are identical either way; only the wire-accounting
+	// side domain (frames, bytes, stalls) differs.
+	ShuffleTransport exec.ShuffleTransport
 	// QueryLog, when non-nil, receives one structured record per completed
 	// top-level query (plan fingerprint, cost, q-error geomean, peak memory,
 	// spill/filter/reopt/admission counts) — obs.NewJSONLSink(file) gives
@@ -741,6 +747,7 @@ func (e *Engine) maybeMarkSharded(root plan.Node, ctx *exec.Context) {
 	ctx.Shards = e.Cfg.Shards
 	ctx.Shuffle = exec.NewShuffleStats(e.Cfg.Shards)
 	ctx.NoHotSplit = e.Cfg.ShardNoHotSplit
+	ctx.ShufTransport = e.Cfg.ShuffleTransport
 	if ctx.Trace != nil {
 		ctx.Trace.Event("shuffle.plan", fmt.Sprintf("shards=%d marked=%d force=%q", e.Cfg.Shards, marked, e.Cfg.ShuffleForce))
 	}
@@ -801,10 +808,28 @@ func (e *Engine) recordQueryMetrics(res *Result, ctx *exec.Context, qerrs []floa
 		m.Counter("rqp_shuffle_joins_total", obs.L("mode", "colocated")).Add(s.ColocatedJoins)
 		m.Counter("rqp_shuffle_joins_total", obs.L("mode", "repartition")).Add(s.RepartitionJoins)
 		m.Counter("rqp_shuffle_joins_total", obs.L("mode", "broadcast")).Add(s.BroadcastJoins)
+		if s.NetFrames > 0 || s.NetFallbacks > 0 {
+			m.Counter("rqp_shuffle_net_frames_total").Add(s.NetFrames)
+			m.Counter("rqp_shuffle_net_bytes_total").Add(s.NetBytes)
+			m.Counter("rqp_shuffle_net_rows_wire_total").Add(s.NetRowsWire)
+			m.Counter("rqp_shuffle_net_stalls_total").Add(s.NetStalls)
+			m.Counter("rqp_shuffle_net_fallbacks_total").Add(s.NetFallbacks)
+			for peer := range s.PeerFrames {
+				lbl := obs.L("peer", fmt.Sprintf("%d", peer))
+				m.Counter("rqp_shuffle_peer_frames_total", lbl).Add(s.PeerFrames[peer])
+				m.Counter("rqp_shuffle_peer_bytes_total", lbl).Add(s.PeerBytes[peer])
+				m.Counter("rqp_shuffle_peer_stalls_total", lbl).Add(s.PeerStalls[peer])
+			}
+		}
 		if res.Trace != nil {
 			res.Trace.Event("shuffle.summary", fmt.Sprintf(
 				"shards=%d moved=%d broadcast=%d hot_keys=%d hot_dups=%d degrades=%d",
 				s.Shards, s.RowsMoved, s.RowsBroadcast, s.HotKeys, s.HotProbeDups, s.Degrades))
+			if s.Transport != "" && s.Transport != "local" {
+				res.Trace.Event("shuffle.net", fmt.Sprintf(
+					"transport=%s frames=%d bytes=%d rows_routed=%d rows_wire=%d stalls=%d reconciled=%v",
+					s.Transport, s.NetFrames, s.NetBytes, s.NetRowsRouted, s.NetRowsWire, s.NetStalls, s.Reconciled()))
+			}
 		}
 	}
 	if ctx.RF != nil {

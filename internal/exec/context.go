@@ -58,6 +58,10 @@ type Context struct {
 	// NoHotSplit disables skew-triggered hot-key splitting (a bench and
 	// experiment control for measuring the unmitigated skew cliff).
 	NoHotSplit bool
+	// ShufTransport, when non-nil, runs sharded joins' exchanges through it
+	// (e.g. the server package's TCP transport to rqpserver -shard-worker
+	// processes). Nil means the in-process transport=local fast path.
+	ShufTransport ShuffleTransport
 	// Canceled, when non-nil, is polled at the query's root drain loop
 	// (every cancelCheckRows result rows): returning true aborts execution
 	// with ErrCanceled. This is the cooperative cancellation hook the

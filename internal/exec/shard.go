@@ -91,8 +91,16 @@ func shardRange(s, n, total int) (lo, hi int) {
 }
 
 // ShuffleStats aggregates shuffle-exchange activity across a query's
-// sharded joins. All methods are nil-safe and atomic: shard goroutines and
-// the coordinator update it concurrently.
+// sharded joins. All methods are nil-safe and atomic: shard goroutines, the
+// coordinator, and transport sender goroutines update it concurrently.
+//
+// The net* counters are the wire-accounting domain a network transport
+// feeds: frames and bytes actually written to sockets, rows carried inside
+// those frames, and backpressure stalls. They exist so the NetRow
+// side-domain charges (shardExtra) can be reconciled against what was
+// really sent instead of assumed — netRowsWire must equal netRowsRouted
+// (every row handed to the transport arrived inside a frame), and the
+// local transport leaves all of them zero.
 type ShuffleStats struct {
 	shards        int
 	rowsMoved     int64 // probe/build rows that crossed shards (repartition)
@@ -105,11 +113,25 @@ type ShuffleStats struct {
 	broadcast     int64
 	shardUnits    []int64 // main-clock units attributed per shard (ClockScale domain)
 	shardExtra    []int64 // shuffle-overhead units per shard (ClockScale domain)
+
+	transport     atomic.Value // string: exchange transport that actually ran ("", "local", "tcp")
+	netFrames     int64        // route/out-batch frames written to sockets
+	netBytes      int64        // frame bytes written (headers + payload)
+	netRowsRouted int64        // rows handed to a network exchange for shipping
+	netRowsWire   int64        // rows carried inside frames actually sent
+	netStalls     int64        // sender blocks on an exhausted credit window
+	netFallbacks  int64        // exchanges refused by the transport, run locally
+	peerFrames    []int64      // per-destination-shard frame counts
+	peerBytes     []int64      // per-destination-shard frame bytes
+	peerStalls    []int64      // per-destination-shard backpressure stalls
 }
 
 // NewShuffleStats returns stats for a query running on n shards.
 func NewShuffleStats(n int) *ShuffleStats {
-	return &ShuffleStats{shards: n, shardUnits: make([]int64, n), shardExtra: make([]int64, n)}
+	return &ShuffleStats{
+		shards: n, shardUnits: make([]int64, n), shardExtra: make([]int64, n),
+		peerFrames: make([]int64, n), peerBytes: make([]int64, n), peerStalls: make([]int64, n),
+	}
 }
 
 func (s *ShuffleStats) movedRows(n int64) {
@@ -175,6 +197,58 @@ func (s *ShuffleStats) addUnits(shard int, scaled int64) {
 	atomic.AddInt64(&s.shardUnits[shard], scaled)
 }
 
+// SetTransport records which exchange transport ran this query's shuffles.
+func (s *ShuffleStats) SetTransport(name string) {
+	if s != nil {
+		s.transport.Store(name)
+	}
+}
+
+// AddNetFrame records one frame written to peer's socket: its on-the-wire
+// size (header + payload) and the routed rows it carried. Called by
+// transport sender goroutines.
+func (s *ShuffleStats) AddNetFrame(peer, bytes, rows int) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.netFrames, 1)
+	atomic.AddInt64(&s.netBytes, int64(bytes))
+	atomic.AddInt64(&s.netRowsWire, int64(rows))
+	if peer >= 0 && peer < len(s.peerFrames) {
+		atomic.AddInt64(&s.peerFrames[peer], 1)
+		atomic.AddInt64(&s.peerBytes[peer], int64(bytes))
+	}
+}
+
+// AddNetRouted counts rows handed to a network exchange for shipping — the
+// send-site half of the frames-vs-routing reconciliation.
+func (s *ShuffleStats) AddNetRouted(n int64) {
+	if s != nil {
+		atomic.AddInt64(&s.netRowsRouted, n)
+	}
+}
+
+// AddNetStall records a sender goroutine blocking on an exhausted credit
+// window for peer — the backpressure signal that a slow shard is throttling
+// producers instead of ballooning memory.
+func (s *ShuffleStats) AddNetStall(peer int) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.netStalls, 1)
+	if peer >= 0 && peer < len(s.peerStalls) {
+		atomic.AddInt64(&s.peerStalls[peer], 1)
+	}
+}
+
+// netFallback counts an exchange the transport refused (e.g. residual
+// closure), run on the local exchange instead.
+func (s *ShuffleStats) netFallback() {
+	if s != nil {
+		atomic.AddInt64(&s.netFallbacks, 1)
+	}
+}
+
 // ShuffleSnapshot is a point-in-time copy of ShuffleStats for results,
 // metrics and bench output. ShardUnits is the main-clock cost each shard
 // performed (these sum into the query total); ShardExtra is the overhead
@@ -192,6 +266,25 @@ type ShuffleSnapshot struct {
 	BroadcastJoins   int64     `json:"broadcast_joins"`
 	ShardUnits       []float64 `json:"shard_units"`
 	ShardExtra       []float64 `json:"shard_extra"`
+
+	// Wire-accounting domain (zero unless a network transport ran).
+	Transport     string  `json:"transport,omitempty"`
+	NetFrames     int64   `json:"net_frames,omitempty"`
+	NetBytes      int64   `json:"net_bytes,omitempty"`
+	NetRowsRouted int64   `json:"net_rows_routed,omitempty"`
+	NetRowsWire   int64   `json:"net_rows_wire,omitempty"`
+	NetStalls     int64   `json:"net_stalls,omitempty"`
+	NetFallbacks  int64   `json:"net_fallbacks,omitempty"`
+	PeerFrames    []int64 `json:"peer_frames,omitempty"`
+	PeerBytes     []int64 `json:"peer_bytes,omitempty"`
+	PeerStalls    []int64 `json:"peer_stalls,omitempty"`
+}
+
+// Reconciled reports whether the wire accounting balances: every row handed
+// to the transport was carried by a frame that actually hit a socket. True
+// (vacuously) for local-only execution.
+func (sn ShuffleSnapshot) Reconciled() bool {
+	return sn.NetRowsRouted == sn.NetRowsWire
 }
 
 // Snapshot copies the stats. Nil-safe: returns a zero snapshot.
@@ -215,6 +308,25 @@ func (s *ShuffleStats) Snapshot() ShuffleSnapshot {
 	for i := range s.shardUnits {
 		snap.ShardUnits[i] = float64(atomic.LoadInt64(&s.shardUnits[i])) / storage.ClockScale
 		snap.ShardExtra[i] = float64(atomic.LoadInt64(&s.shardExtra[i])) / storage.ClockScale
+	}
+	if name, ok := s.transport.Load().(string); ok {
+		snap.Transport = name
+	}
+	snap.NetFrames = atomic.LoadInt64(&s.netFrames)
+	snap.NetBytes = atomic.LoadInt64(&s.netBytes)
+	snap.NetRowsRouted = atomic.LoadInt64(&s.netRowsRouted)
+	snap.NetRowsWire = atomic.LoadInt64(&s.netRowsWire)
+	snap.NetStalls = atomic.LoadInt64(&s.netStalls)
+	snap.NetFallbacks = atomic.LoadInt64(&s.netFallbacks)
+	if snap.NetFrames > 0 {
+		snap.PeerFrames = make([]int64, len(s.peerFrames))
+		snap.PeerBytes = make([]int64, len(s.peerBytes))
+		snap.PeerStalls = make([]int64, len(s.peerStalls))
+		for i := range s.peerFrames {
+			snap.PeerFrames[i] = atomic.LoadInt64(&s.peerFrames[i])
+			snap.PeerBytes[i] = atomic.LoadInt64(&s.peerBytes[i])
+			snap.PeerStalls[i] = atomic.LoadInt64(&s.peerStalls[i])
+		}
 	}
 	return snap
 }

@@ -10,37 +10,11 @@ import (
 	"rqp/internal/types"
 )
 
-// srow is a routed probe row. seq is its global serial-order tag; main
-// marks the one copy (of a possibly duplicated hot-key row) that pays the
-// serial probe charge on its shard's main clock.
-type srow struct {
-	seq  int64
-	main bool
-	r    types.Row
-}
-
-// brow is a routed build row. idx is its global build-arrival index (the
-// tiebreak the gather merge uses to reproduce serial chain order); own
-// marks the copy whose hash-table insert is charged on the main clock.
-type brow struct {
-	idx int32
-	own bool
-	h   uint64
-	r   types.Row
-}
-
-// orow is one output row tagged for the gather merge: lexicographic
-// (seq, bidx) order is exactly the serial hash join's emission order, for
-// normal and hot-split routing alike.
-type orow struct {
-	seq  int64
-	bidx int32
-	r    types.Row
-}
-
-// shardedHashJoin executes a hash join across ctx.Shards goroutine
-// "nodes", each with its own clock, hash-table shard and contiguous slice
-// of the probe input. The plan's ShuffleMode decides how rows move:
+// shardedHashJoin executes a hash join across ctx.Shards "nodes" — each
+// with its own clock, hash-table shard and contiguous slice of the probe
+// input — routed through a ShuffleExchange (shardtransport.go): in-process
+// goroutines for transport=local, rqpserver -shard-worker processes over
+// TCP for transport=tcp. The plan's ShuffleMode decides how rows move:
 //
 //   - Repartition: both sides route by join-key hash; per-shard row
 //     counters detect heavy-hitter skew and split hot build keys across
@@ -182,10 +156,66 @@ func (j *shardedHashJoin) degrade(build []types.Row) error {
 	return fb.probe()
 }
 
-// runShuffled is the repartition/broadcast path: route the build side,
-// detect and split hot keys, then scan-and-route the probe side from
-// per-shard contiguous ranges, probe shard-locally, and k-way merge the
-// tagged outputs back into serial order.
+// spec assembles the ShuffleJoinSpec a transport needs to build and probe
+// this join's hash-table shards remotely.
+func (j *shardedHashJoin) spec(clks []*storage.Clock) ShuffleJoinSpec {
+	return ShuffleJoinSpec{
+		Shards:    j.n,
+		LeftKeys:  j.node.LeftKeys,
+		RightKeys: j.node.RightKeys,
+		LeftOuter: j.node.Type == plan.LeftOuter,
+		RWidth:    j.rWidth,
+		Residual:  j.residualFn(),
+		Model:     j.ctx.Clock.Model(),
+		Clocks:    clks,
+		Stats:     j.ctx.Shuffle,
+		Canceled:  j.ctx.Canceled,
+	}
+}
+
+// residualFn wraps the join's residual predicate (compiled or interpreted)
+// as the closure ShardJoiner evaluates per candidate match.
+func (j *shardedHashJoin) residualFn() func(types.Row) (bool, error) {
+	params := j.ctx.Params
+	if j.residual != nil {
+		pred := j.residual
+		return func(r types.Row) (bool, error) { return pred.Eval(r, params) }
+	}
+	if j.node.Residual != nil {
+		e := j.node.Residual
+		return func(r types.Row) (bool, error) { return expr.EvalPredicate(e, r, params) }
+	}
+	return nil
+}
+
+// openExchange asks the context's transport for this join's exchange,
+// falling back to the in-process exchange when the transport refuses the
+// join shape or cannot reach its peers. Fallback is only safe here, before
+// any row has been routed; mid-exchange failures abort the query instead.
+func (j *shardedHashJoin) openExchange(spec ShuffleJoinSpec) ShuffleExchange {
+	tr := j.ctx.ShufTransport
+	if tr == nil {
+		return newLocalExchange(spec)
+	}
+	ex, err := tr.OpenExchange(spec)
+	if err != nil {
+		j.ctx.Shuffle.netFallback()
+		if j.ctx.Trace != nil {
+			j.ctx.Trace.Event("shuffle.fallback", fmt.Sprintf(
+				"transport=%s refused exchange: %v (running local)", tr.Name(), err))
+		}
+		j.ctx.Shuffle.SetTransport("local")
+		return newLocalExchange(spec)
+	}
+	j.ctx.Shuffle.SetTransport(tr.Name())
+	return ex
+}
+
+// runShuffled is the repartition/broadcast path: route the build side
+// through the exchange, detect and split hot keys, then scan-and-route the
+// probe side from per-shard contiguous ranges, probe shard-locally
+// (wherever the shard lives), and k-way merge the tagged outputs back into
+// serial order.
 func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 	ctx := j.ctx
 	st := ctx.Shuffle
@@ -209,10 +239,16 @@ func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 
 	hot := j.detectHotKeys(hs, nulls, routed)
 
+	clks := make([]*storage.Clock, n)
+	for s := range clks {
+		clks[s] = ctx.Clock.Shard()
+	}
+	ex := j.openExchange(j.spec(clks))
+	defer ex.Abort()
+
 	// Route the build side. Hot keys round-robin their rows across all
 	// shards by arrival index; everything else goes to hash%n. The copy
-	// that pays the serial insert charge is marked own.
-	bparts := make([][]brow, n)
+	// that pays the serial insert charge is marked Own.
 	rr := make(map[uint64]int, len(hot))
 	for i, r := range build {
 		if nulls[i] {
@@ -223,7 +259,9 @@ func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 		if j.mode == plan.ShuffleBroadcast {
 			own := int(h % uint64(n))
 			for d := 0; d < n; d++ {
-				bparts[d] = append(bparts[d], brow{idx: int32(i), own: d == own, h: h, r: r})
+				if err := ex.SendBuild(d, ShufBuild{Idx: int32(i), Own: d == own, Hash: h, Row: r}); err != nil {
+					return err
+				}
 				if d != own {
 					st.addExtra(d, 1, model.NetRow)
 					st.addExtra(d, 2, model.HashProbe)
@@ -237,47 +275,25 @@ func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 			d = rr[h] % n
 			rr[h]++
 		}
-		bparts[d] = append(bparts[d], brow{idx: int32(i), own: true, h: h, r: r})
+		if err := ex.SendBuild(d, ShufBuild{Idx: int32(i), Own: true, Hash: h, Row: r}); err != nil {
+			return err
+		}
 		if n > 1 {
 			st.movedRows(1)
 			st.addExtra(d, 1, model.NetRow)
 		}
 	}
-
-	clks := make([]*storage.Clock, n)
-	for s := range clks {
-		clks[s] = ctx.Clock.Shard()
-	}
-
-	// Phase 1: per-shard hash-table build. Chains keep build-arrival order
-	// because bparts was appended in ascending index order.
-	tabs := make([]map[uint64][]brow, n)
-	if err := runShards(n, func(s int) error {
-		tab := make(map[uint64][]brow, len(bparts[s]))
-		for _, b := range bparts[s] {
-			if b.own {
-				clks[s].Probes(2)
-			}
-			tab[b.h] = append(tab[b.h], b)
-		}
-		tabs[s] = tab
-		return nil
-	}); err != nil {
+	if err := ex.FlushBuild(); err != nil {
 		return err
 	}
 
-	// Phase 2: scan-and-route the probe side. Each shard owns a contiguous
-	// morsel (or row) range, so its sequence tags ascend; each (src,dst)
-	// buffer is therefore already sorted and the receiver just sweeps
-	// sources in order.
-	routes := make([][][]srow, n)
-	for s := range routes {
-		routes[s] = make([][]srow, n)
-	}
-	route := func(src int, seq int64, lr types.Row, pk []types.Value) {
+	// Scan-and-route the probe side. Each shard owns a contiguous morsel
+	// (or row) range, so its sequence tags ascend; each (src,dst) stream is
+	// therefore already sorted and the receiver just sweeps sources in
+	// order.
+	route := func(src int, seq int64, lr types.Row, pk []types.Value) error {
 		if j.mode == plan.ShuffleBroadcast {
-			routes[src][src] = append(routes[src][src], srow{seq: seq, main: true, r: lr})
-			return
+			return ex.SendProbe(src, src, ShufProbe{Seq: seq, Main: true, Row: lr})
 		}
 		h := types.HashRow(pk) // NULL keys hash deterministically too
 		d := int(h % uint64(n))
@@ -286,7 +302,9 @@ func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 			// spread over every shard, so the probe row visits all of them.
 			// Only the home copy pays the serial probe charge.
 			for dd := 0; dd < n; dd++ {
-				routes[src][dd] = append(routes[src][dd], srow{seq: seq, main: dd == d, r: lr})
+				if err := ex.SendProbe(src, dd, ShufProbe{Seq: seq, Main: dd == d, Row: lr}); err != nil {
+					return err
+				}
 				if dd != d {
 					st.hotDup(1)
 					st.addExtra(dd, 1, model.NetRow)
@@ -297,13 +315,16 @@ func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 				st.movedRows(1)
 				st.addExtra(d, 1, model.NetRow)
 			}
-			return
+			return nil
 		}
-		routes[src][d] = append(routes[src][d], srow{seq: seq, main: true, r: lr})
+		if err := ex.SendProbe(src, d, ShufProbe{Seq: seq, Main: true, Row: lr}); err != nil {
+			return err
+		}
 		if d != src {
 			st.movedRows(1)
 			st.addExtra(d, 1, model.NetRow)
 		}
+		return nil
 	}
 	if j.scan != nil {
 		nm, npages := scanGeometry(j.scan, j.scanCol)
@@ -317,7 +338,9 @@ func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 				k := int64(0)
 				err := scanMorsel(ctx, j.scan, j.scanPred, j.scanRF, j.scanCol, m, npages, clks[s], func(lr types.Row) error {
 					keyInto(pk, lr, j.node.LeftKeys)
-					route(s, mseq|k, lr, pk)
+					if err := route(s, mseq|k, lr, pk); err != nil {
+						return err
+					}
 					k++
 					cnt++
 					return nil
@@ -327,7 +350,7 @@ func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 				}
 			}
 			atomic.AddInt64(&scanned, cnt)
-			return nil
+			return ex.FlushProbe(s)
 		}); err != nil {
 			return err
 		}
@@ -343,35 +366,26 @@ func (j *shardedHashJoin) runShuffled(build []types.Row) error {
 			pk := make([]types.Value, len(j.node.LeftKeys))
 			for i, lr := range lrows[lo:hi] {
 				keyInto(pk, lr, j.node.LeftKeys)
-				route(s, int64(lo+i), lr, pk)
+				if err := route(s, int64(lo+i), lr, pk); err != nil {
+					return err
+				}
 			}
-			return nil
+			return ex.FlushProbe(s)
 		}); err != nil {
 			return err
 		}
 	}
 
-	// Phase 3: shard-local probe in (source, sequence) order.
-	outs := make([][]orow, n)
-	if err := runShards(n, func(s int) error {
-		pk := make([]types.Value, len(j.node.LeftKeys))
-		ck := make([]types.Value, len(j.node.RightKeys))
-		var out []orow
-		for src := 0; src < n; src++ {
-			for _, pr := range routes[src][s] {
-				if err := j.probeOne(pr, tabs[s], clks[s], pk, ck, &out); err != nil {
-					return err
-				}
-			}
-		}
-		outs[s] = out
-		return nil
-	}); err != nil {
+	// Build and probe run at the shards (in-process goroutines or worker
+	// processes); Collect gathers every shard's (Seq, BIdx)-sorted stream
+	// plus any clock work performed away from the coordinator.
+	outs, units, err := ex.Collect()
+	if err != nil {
 		return err
 	}
 
 	j.gather(outs)
-	j.finishShards(clks)
+	j.finishShards(clks, units)
 	if ctx.Trace != nil {
 		ctx.Trace.Event("shuffle.route", fmt.Sprintf(
 			"mode=%s shards=%d build=%d hot_keys=%d out=%d", j.mode, n, len(build), len(hot), len(j.out)))
@@ -440,56 +454,9 @@ func (j *shardedHashJoin) detectHotKeys(hs []uint64, nulls []bool, routed int) m
 	return hot
 }
 
-// probeOne probes one routed row against a shard's table, appending tagged
-// outputs. Charges mirror the serial probe exactly: one probe per original
-// probe row (the main copy), one unit of row work per emitted row — on the
-// clock of the shard doing that work.
-func (j *shardedHashJoin) probeOne(pr srow, tab map[uint64][]brow, clk *storage.Clock, pk, ck []types.Value, out *[]orow) error {
-	if pr.main {
-		clk.Probes(1)
-	}
-	keyInto(pk, pr.r, j.node.LeftKeys)
-	matched := false
-	if !keyHasNull(pk) {
-		h := types.HashRow(pk)
-		for _, cand := range tab[h] {
-			keyInto(ck, cand.r, j.node.RightKeys)
-			if !keysEqual(pk, ck) {
-				continue
-			}
-			buf := types.Concat(pr.r, cand.r)
-			if j.residual != nil {
-				ok, err := j.residual.Eval(buf, j.ctx.Params)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-			} else if j.node.Residual != nil {
-				ok, err := expr.EvalPredicate(j.node.Residual, buf, j.ctx.Params)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-			}
-			clk.RowWork(1)
-			matched = true
-			*out = append(*out, orow{seq: pr.seq, bidx: cand.idx, r: buf})
-		}
-	}
-	if j.node.Type == plan.LeftOuter && !matched && pr.main {
-		clk.RowWork(1)
-		*out = append(*out, orow{seq: pr.seq, bidx: -1, r: types.Concat(pr.r, nullRow(j.rWidth))})
-	}
-	return nil
-}
-
 // gather k-way merges the per-shard output streams — each already sorted
-// by (seq, bidx) — into the exact serial emission order.
-func (j *shardedHashJoin) gather(outs [][]orow) {
+// by (Seq, BIdx) — into the exact serial emission order.
+func (j *shardedHashJoin) gather(outs [][]ShufOut) {
 	total := 0
 	for _, o := range outs {
 		total += len(o)
@@ -507,24 +474,34 @@ func (j *shardedHashJoin) gather(outs [][]orow) {
 				continue
 			}
 			a, b := outs[s][cur[s]], outs[best][cur[best]]
-			if a.seq < b.seq || (a.seq == b.seq && a.bidx < b.bidx) {
+			if a.Seq < b.Seq || (a.Seq == b.Seq && a.BIdx < b.BIdx) {
 				best = s
 			}
 		}
-		j.out = append(j.out, outs[best][cur[best]].r)
+		j.out = append(j.out, outs[best][cur[best]].Row)
 		cur[best]++
 	}
 }
 
-// finishShards attributes each shard clock's units to the stats and merges
-// them into the query clock — restoring the exact serial total.
-func (j *shardedHashJoin) finishShards(clks []*storage.Clock) {
+// finishShards attributes each shard's units to the stats and merges them
+// into the query clock — restoring the exact serial total. A shard's total
+// is its coordinator-side clock (probe scanning, local build/probe) plus
+// whatever the exchange reports it performed elsewhere (a worker process's
+// shipped clock, folded in via MergeScaled in the same integer domain).
+func (j *shardedHashJoin) finishShards(clks []*storage.Clock, units []ShardUnits) {
 	st := j.ctx.Shuffle
 	for s, clk := range clks {
-		st.addUnits(s, clk.UnitsScaled())
+		total := clk.UnitsScaled()
+		if units != nil {
+			u := units[s]
+			total += u.UnitsScaled
+			j.ctx.Clock.MergeScaled(u.UnitsScaled, u.SeqReads, u.RandReads, u.PageWrites, u.RowsCPU)
+		}
+		st.addUnits(s, total)
 		j.ctx.Clock.Merge(clk)
 		if j.ctx.Trace != nil {
-			j.ctx.Trace.Event("shuffle.shard", fmt.Sprintf("shard=%d units=%.3f", s, clk.Units()))
+			j.ctx.Trace.Event("shuffle.shard", fmt.Sprintf(
+				"shard=%d units=%.3f", s, float64(total)/storage.ClockScale))
 		}
 	}
 }
@@ -588,26 +565,27 @@ func (j *shardedHashJoin) runColocated() error {
 	j.ctx.Shuffle.countJoin(plan.ShuffleColocated)
 
 	outs := make([][]types.Row, n)
+	spec := j.spec(clks)
 	var scanned int64
 	if err := runShards(n, func(s int) error {
-		tab := make(map[uint64][]brow, len(bRows[s]))
+		// Colocated shards never touch a transport: each builds and probes
+		// its own page ranges through the same ShardJoiner engine remote
+		// workers run, so charges match the shuffled paths call-for-call.
+		w := NewShardJoiner(spec, clks[s])
 		key := make([]types.Value, len(j.node.RightKeys))
 		for i, r := range bRows[s] {
-			clks[s].Probes(2)
 			keyInto(key, r, j.node.RightKeys)
 			if keyHasNull(key) {
+				clks[s].Probes(2) // serial charges the insert before skipping null keys
 				continue
 			}
-			h := types.HashRow(key)
-			tab[h] = append(tab[h], brow{idx: int32(i), own: true, h: h, r: r})
+			w.Insert(ShufBuild{Idx: int32(i), Own: true, Hash: types.HashRow(key), Row: r})
 		}
-		pk := make([]types.Value, len(j.node.LeftKeys))
-		ck := make([]types.Value, len(j.node.RightKeys))
-		var tagged []orow
+		var tagged []ShufOut
 		var cnt int64
 		err := scanPageRange(ctx, j.scan, j.scanPred, j.scanRF, pp[s], pp[s+1], clks[s], func(lr types.Row) error {
 			cnt++
-			return j.probeOne(srow{seq: cnt, main: true, r: lr}, tab, clks[s], pk, ck, &tagged)
+			return w.Probe(ShufProbe{Seq: cnt, Main: true, Row: lr}, &tagged)
 		})
 		if err != nil {
 			return err
@@ -615,7 +593,7 @@ func (j *shardedHashJoin) runColocated() error {
 		atomic.AddInt64(&scanned, cnt)
 		rows := make([]types.Row, len(tagged))
 		for i, o := range tagged {
-			rows[i] = o.r
+			rows[i] = o.Row
 		}
 		outs[s] = rows
 		return nil
@@ -626,7 +604,7 @@ func (j *shardedHashJoin) runColocated() error {
 	for _, rows := range outs {
 		j.out = append(j.out, rows...)
 	}
-	j.finishShards(clks)
+	j.finishShards(clks, nil)
 	if ctx.Trace != nil {
 		ctx.Trace.Event("shuffle.route", fmt.Sprintf(
 			"mode=colocated shards=%d build=%d out=%d (no rows moved)", n, totalBuild, len(j.out)))

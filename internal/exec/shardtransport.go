@@ -1,0 +1,301 @@
+package exec
+
+import (
+	"errors"
+
+	"rqp/internal/storage"
+	"rqp/internal/types"
+)
+
+// This file defines the shuffle-transport seam: the one interface behind
+// which a sharded join's exchange partners live, whether they are goroutines
+// in this process (the transport=local fast path, newLocalExchange) or
+// rqpserver -shard-worker processes reached over TCP (the server package's
+// NetShuffleTransport). The shardedHashJoin routes rows through a
+// ShuffleExchange without knowing which side of a socket the receiving
+// shard is on; the transport swap must be invisible to results (byte-
+// identical rows via the same (Seq, BIdx) gather merge) and to the main
+// clock (the identical multiset of charges, performed wherever the shard
+// lives and merged back in the ClockScale integer domain).
+
+// ShufBuild is one routed build row. Idx is its global build-arrival index
+// (the gather merge's tiebreak); Own marks the copy whose hash-table insert
+// pays the serial charge; Hash is the join-key hash, computed once at the
+// coordinator so replicas agree.
+type ShufBuild struct {
+	Idx  int32
+	Own  bool
+	Hash uint64
+	Row  types.Row
+}
+
+// ShufProbe is one routed probe row. Seq is its global serial-order tag;
+// Main marks the one copy (of a possibly hot-split-duplicated row) that
+// pays the serial probe charge.
+type ShufProbe struct {
+	Seq  int64
+	Main bool
+	Row  types.Row
+}
+
+// ShufOut is one tagged join output row: lexicographic (Seq, BIdx) order is
+// exactly the serial hash join's emission order.
+type ShufOut struct {
+	Seq  int64
+	BIdx int32
+	Row  types.Row
+}
+
+// ShardUnits is the clock work a shard performed somewhere other than the
+// coordinator's scan clocks — zero for the local exchange (which charges
+// the coordinator's per-shard clocks directly), a worker process's shipped
+// clock counters for the TCP transport. All values are in the ClockScale
+// integer domain (UnitsScaled) or raw event counts.
+type ShardUnits struct {
+	UnitsScaled int64
+	SeqReads    int64
+	RandReads   int64
+	PageWrites  int64
+	RowsCPU     int64
+}
+
+// ShuffleJoinSpec describes one sharded hash join to a transport: the key
+// geometry a receiving shard needs to insert and probe, plus the
+// coordinator-side hooks (clocks, stats, cancellation) the exchange feeds.
+type ShuffleJoinSpec struct {
+	// Shards is the exchange width n: destinations and probe sources both
+	// number n.
+	Shards int
+	// LeftKeys/RightKeys are the probe/build join-key column indices.
+	LeftKeys, RightKeys []int
+	// LeftOuter selects the outer join's null-extension at the probe.
+	LeftOuter bool
+	// RWidth is the build-side schema width (null-extension padding).
+	RWidth int
+	// Residual, when non-nil, filters candidate matches after key equality.
+	// Residual closures capture coordinator state (compiled expressions,
+	// query parameters) and therefore cannot cross a process boundary: a
+	// transport that cannot evaluate them must refuse the exchange with
+	// ErrExchangeUnsupported, and the join falls back to transport=local.
+	Residual func(types.Row) (bool, error)
+	// Model is the cost model every shard clock must charge under.
+	Model storage.CostModel
+	// Clocks are the coordinator's per-shard clocks. The local exchange
+	// charges build/probe work straight into them; remote transports leave
+	// them untouched and return the work as ShardUnits from Collect.
+	Clocks []*storage.Clock
+	// Stats receives wire-level accounting (frames, bytes, rows carried,
+	// backpressure stalls) as the exchange runs. Nil-safe.
+	Stats *ShuffleStats
+	// Canceled is the query's cooperative cancellation hook — the same
+	// atomic flag a client disconnect flips. Transports poll it so a dead
+	// session tears down its shuffle peers through the one cancellation
+	// path the session layer already owns. Nil means never canceled.
+	Canceled func() bool
+}
+
+// ShuffleExchange is one sharded join's routing session. SendBuild is
+// called from the (single) build-routing goroutine; SendProbe concurrently
+// from n scan goroutines, but any (src, dst) pair only ever from goroutine
+// src — per-stream order is what keeps worker-side probe order, and hence
+// the gather merge, deterministic. Collect finishes the exchange and
+// returns each shard's output stream, already sorted by (Seq, BIdx).
+type ShuffleExchange interface {
+	SendBuild(dst int, b ShufBuild) error
+	// FlushBuild ends the build phase; after it returns, every shard's
+	// hash table is (or is being) built from exactly the rows sent.
+	FlushBuild() error
+	SendProbe(src, dst int, p ShufProbe) error
+	// FlushProbe ends source src's probe stream.
+	FlushProbe(src int) error
+	// Collect ends the probe phase everywhere, gathers each shard's tagged
+	// outputs, and reports the clock work shards performed away from the
+	// coordinator's clocks (zero for the local exchange).
+	Collect() ([][]ShufOut, []ShardUnits, error)
+	// Abort tears the exchange down early (error paths); safe after Collect.
+	Abort()
+}
+
+// ShuffleTransport hands out exchanges. The zero transport is the local
+// one; the server package provides the TCP implementation that dials
+// rqpserver -shard-worker peers.
+type ShuffleTransport interface {
+	// Name labels the transport in traces and bench output ("local", "tcp").
+	Name() string
+	// OpenExchange starts one join's exchange. ErrExchangeUnsupported means
+	// this transport cannot run this particular join (e.g. a residual
+	// closure that cannot be serialized) and the caller should fall back to
+	// the local exchange — a per-join decision, not a transport failure.
+	OpenExchange(spec ShuffleJoinSpec) (ShuffleExchange, error)
+	Close() error
+}
+
+// ErrExchangeUnsupported reports a join shape the transport cannot ship;
+// the sharded join falls back to the in-process exchange.
+var ErrExchangeUnsupported = errors.New("exec: exchange unsupported by transport")
+
+// ErrShufflePeerLost reports a shuffle peer that died mid-exchange. Unlike
+// an OpenExchange refusal there is no safe fallback: rows are already in
+// flight, so the query fails (the session layer surfaces ERR_EXEC).
+var ErrShufflePeerLost = errors.New("exec: shuffle peer lost")
+
+// ShardJoiner is the receiving half of a shuffle exchange for one shard:
+// the hash-table build and serial-order probe engine both the local
+// exchange and the server package's worker processes run. Charges mirror
+// the serial hash join exactly — Probes(2) per owned insert, Probes(1) per
+// main probe copy, RowWork(1) per emitted row — on whatever clock the
+// shard lives on.
+type ShardJoiner struct {
+	Spec ShuffleJoinSpec
+	Clk  *storage.Clock
+
+	tab map[uint64][]ShufBuild
+	pk  []types.Value
+	ck  []types.Value
+}
+
+// NewShardJoiner returns a joiner charging the given clock.
+func NewShardJoiner(spec ShuffleJoinSpec, clk *storage.Clock) *ShardJoiner {
+	return &ShardJoiner{
+		Spec: spec,
+		Clk:  clk,
+		tab:  make(map[uint64][]ShufBuild),
+		pk:   make([]types.Value, len(spec.LeftKeys)),
+		ck:   make([]types.Value, len(spec.RightKeys)),
+	}
+}
+
+// Insert adds one routed build row. Rows must arrive in ascending Idx order
+// per stream (the coordinator routes them that way), so hash chains keep
+// build-arrival order and candidate iteration reproduces the serial chain.
+func (w *ShardJoiner) Insert(b ShufBuild) {
+	if b.Own {
+		w.Clk.Probes(2)
+	}
+	w.tab[b.Hash] = append(w.tab[b.Hash], b)
+}
+
+// TableSize reports distinct hash buckets (trace/debug only).
+func (w *ShardJoiner) TableSize() int { return len(w.tab) }
+
+// Probe probes one routed row, appending tagged outputs to out. The charge
+// placement is the serial join's: one probe per Main copy, one unit of row
+// work per emitted row.
+func (w *ShardJoiner) Probe(p ShufProbe, out *[]ShufOut) error {
+	if p.Main {
+		w.Clk.Probes(1)
+	}
+	keyInto(w.pk, p.Row, w.Spec.LeftKeys)
+	matched := false
+	if !keyHasNull(w.pk) {
+		h := types.HashRow(w.pk)
+		for _, cand := range w.tab[h] {
+			keyInto(w.ck, cand.Row, w.Spec.RightKeys)
+			if !keysEqual(w.pk, w.ck) {
+				continue
+			}
+			buf := types.Concat(p.Row, cand.Row)
+			if w.Spec.Residual != nil {
+				ok, err := w.Spec.Residual(buf)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			w.Clk.RowWork(1)
+			matched = true
+			*out = append(*out, ShufOut{Seq: p.Seq, BIdx: cand.Idx, Row: buf})
+		}
+	}
+	if w.Spec.LeftOuter && !matched && p.Main {
+		w.Clk.RowWork(1)
+		*out = append(*out, ShufOut{Seq: p.Seq, BIdx: -1, Row: types.Concat(p.Row, nullRow(w.Spec.RWidth))})
+	}
+	return nil
+}
+
+// localExchange is the transport=local fast path: the exact in-process
+// goroutine exchange sharded execution has always run, now behind the
+// ShuffleExchange interface. Rows route through in-memory slices, the
+// build/probe phases run on runShards goroutines charging the
+// coordinator's per-shard clocks, and Collect returns zero ShardUnits
+// because no work happened anywhere else.
+type localExchange struct {
+	spec   ShuffleJoinSpec
+	bparts [][]ShufBuild
+	routes [][][]ShufProbe // [src][dst]
+}
+
+// newLocalExchange builds the in-process exchange for a spec.
+func newLocalExchange(spec ShuffleJoinSpec) *localExchange {
+	n := spec.Shards
+	ex := &localExchange{spec: spec, bparts: make([][]ShufBuild, n), routes: make([][][]ShufProbe, n)}
+	for s := range ex.routes {
+		ex.routes[s] = make([][]ShufProbe, n)
+	}
+	return ex
+}
+
+func (ex *localExchange) SendBuild(dst int, b ShufBuild) error {
+	ex.bparts[dst] = append(ex.bparts[dst], b)
+	return nil
+}
+
+func (ex *localExchange) FlushBuild() error { return nil }
+
+func (ex *localExchange) SendProbe(src, dst int, p ShufProbe) error {
+	ex.routes[src][dst] = append(ex.routes[src][dst], p)
+	return nil
+}
+
+func (ex *localExchange) FlushProbe(int) error { return nil }
+
+// Collect runs the shard-local build and probe phases on one goroutine per
+// shard: insert routed build rows in arrival order, then probe routed rows
+// in (source, sequence) order so each shard's output stream is sorted by
+// (Seq, BIdx) for the gather merge.
+func (ex *localExchange) Collect() ([][]ShufOut, []ShardUnits, error) {
+	n := ex.spec.Shards
+	outs := make([][]ShufOut, n)
+	err := runShards(n, func(s int) error {
+		w := NewShardJoiner(ex.spec, ex.spec.Clocks[s])
+		for _, b := range ex.bparts[s] {
+			w.Insert(b)
+		}
+		var out []ShufOut
+		for src := 0; src < n; src++ {
+			for _, p := range ex.routes[src][s] {
+				if err := w.Probe(p, &out); err != nil {
+					return err
+				}
+			}
+		}
+		outs[s] = out
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, make([]ShardUnits, n), nil
+}
+
+func (ex *localExchange) Abort() {}
+
+// localTransport hands out localExchanges; it is what a nil
+// Context.ShufTransport means.
+type localTransport struct{}
+
+// NewLocalShuffleTransport returns the in-process transport explicitly —
+// benches and tests use it to pin transport=local against the same
+// interface the TCP transport implements.
+func NewLocalShuffleTransport() ShuffleTransport { return localTransport{} }
+
+func (localTransport) Name() string { return "local" }
+
+func (localTransport) OpenExchange(spec ShuffleJoinSpec) (ShuffleExchange, error) {
+	return newLocalExchange(spec), nil
+}
+
+func (localTransport) Close() error { return nil }

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"rqp/internal/server"
+)
+
+// TestMain lets this test binary double as its own shard worker fleet: E30
+// re-executes the running binary to spawn worker processes, and a spawned
+// copy sees RQP_SHARD_WORKER and runs the worker loop instead of the tests.
+func TestMain(m *testing.M) {
+	server.MaybeRunShardWorker()
+	os.Exit(m.Run())
+}
+
+// TestE30NetShuffleSweep is the E30 smoke: the E28 matrix over real worker
+// processes must stay exact on the main clock while the wire accounting
+// reconciles, batches amortize, and co-located joins move zero bytes.
+func TestE30NetShuffleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	r := runE(t, "E30", 0.3)
+	for _, key := range []string{"all_exact", "all_reconciled", "frames_amortized_5x", "colocated_zero_frames"} {
+		if r.KV[key] != 1 {
+			t.Errorf("%s = %v, want 1\n%s", key, r.KV[key], r)
+		}
+	}
+	if r.KV["colocated_net_bytes"] != 0 {
+		t.Errorf("colocated joins put %v bytes on the wire, want 0", r.KV["colocated_net_bytes"])
+	}
+	if r.KV["skew_worst_over_mean_nosplit"] <= r.KV["skew_worst_over_mean_split"] {
+		t.Errorf("hot-key split did not bound worker load: split=%v nosplit=%v",
+			r.KV["skew_worst_over_mean_split"], r.KV["skew_worst_over_mean_nosplit"])
+	}
+}

@@ -95,13 +95,14 @@ func Registry() map[string]Runner {
 		"E27": E27ColumnarSweep,
 		"E28": E28ShardSweep,
 		"E29": E29ServerSweep,
+		"E30": E30NetShuffle,
 	}
 }
 
 // IDs returns all experiment ids in order.
 func IDs() []string {
-	ids := make([]string, 0, 29)
-	for i := 1; i <= 29; i++ {
+	ids := make([]string, 0, 30)
+	for i := 1; i <= 30; i++ {
 		ids = append(ids, fmt.Sprintf("E%d", i))
 	}
 	return ids

@@ -25,8 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	if len(IDs()) != 29 {
-		t.Errorf("expected 29 experiments, got %d", len(IDs()))
+	if len(IDs()) != 30 {
+		t.Errorf("expected 30 experiments, got %d", len(IDs()))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"rqp/internal/types"
 )
@@ -132,6 +133,43 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 // payloads fail with ErrProto instead of panicking.
 
 type wireWriter struct{ buf []byte }
+
+// Encoder is a wire message that renders its payload into a caller-supplied
+// writer. The unexported method keeps implementations inside this package:
+// every message type satisfies it, and WriteMsg uses it to encode through a
+// pooled buffer instead of allocating per frame.
+type Encoder interface{ encodeTo(w *wireWriter) }
+
+// maxPooledEncodeBuf caps the encode buffers the pool retains. A rare giant
+// frame (a wide row of long strings) should not pin its buffer forever.
+const maxPooledEncodeBuf = 64 << 10
+
+var encodePool = sync.Pool{
+	New: func() any { return &wireWriter{buf: make([]byte, 0, 512)} },
+}
+
+// WriteMsg encodes m through a pooled buffer and writes it to dst as one
+// frame. This is the allocation-free send path: Encode allocates a fresh
+// buffer per call (fine for handshakes), while row streams and shuffle
+// route batches — the frames sent millions of times — go through here.
+func WriteMsg(dst io.Writer, typ byte, m Encoder) error {
+	w := encodePool.Get().(*wireWriter)
+	w.buf = w.buf[:0]
+	m.encodeTo(w)
+	err := WriteFrame(dst, typ, w.buf)
+	if cap(w.buf) <= maxPooledEncodeBuf {
+		encodePool.Put(w)
+	}
+	return err
+}
+
+// encode is the shared allocating Encode body: a fresh buffer the caller
+// owns (so it may outlive the call, unlike WriteMsg's pooled buffer).
+func encode(m Encoder) []byte {
+	w := &wireWriter{}
+	m.encodeTo(w)
+	return w.buf
+}
 
 func (w *wireWriter) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
 func (w *wireWriter) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
@@ -334,8 +372,9 @@ type StartupMsg struct {
 }
 
 // Encode renders the startup payload.
-func (m StartupMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m StartupMsg) Encode() []byte { return encode(m) }
+
+func (m StartupMsg) encodeTo(w *wireWriter) {
 	w.u16(m.Version)
 	w.u16(uint16(len(m.Options)))
 	// Deterministic option order keeps encode→decode→encode stable for the
@@ -349,7 +388,6 @@ func (m StartupMsg) Encode() []byte {
 		w.str(k)
 		w.str(m.Options[k])
 	}
-	return w.buf
 }
 
 // DecodeStartup parses a MsgStartup payload.
@@ -374,14 +412,14 @@ type QueryMsg struct {
 }
 
 // Encode renders the query payload.
-func (m QueryMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m QueryMsg) Encode() []byte { return encode(m) }
+
+func (m QueryMsg) encodeTo(w *wireWriter) {
 	w.str(m.SQL)
 	w.u16(uint16(len(m.Params)))
 	for _, v := range m.Params {
 		appendValue(w, v)
 	}
-	return w.buf
 }
 
 // DecodeQuery parses a MsgQuery payload.
@@ -399,11 +437,11 @@ type PrepareMsg struct {
 }
 
 // Encode renders the prepare payload.
-func (m PrepareMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m PrepareMsg) Encode() []byte { return encode(m) }
+
+func (m PrepareMsg) encodeTo(w *wireWriter) {
 	w.str(m.Name)
 	w.str(m.SQL)
-	return w.buf
 }
 
 // DecodePrepare parses a MsgPrepare payload.
@@ -421,14 +459,14 @@ type BindMsg struct {
 }
 
 // Encode renders the bind payload.
-func (m BindMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m BindMsg) Encode() []byte { return encode(m) }
+
+func (m BindMsg) encodeTo(w *wireWriter) {
 	w.str(m.Name)
 	w.u16(uint16(len(m.Params)))
 	for _, v := range m.Params {
 		appendValue(w, v)
 	}
-	return w.buf
 }
 
 // DecodeBind parses a MsgBind payload.
@@ -447,11 +485,9 @@ type ExecuteMsg struct {
 }
 
 // Encode renders the execute payload.
-func (m ExecuteMsg) Encode() []byte {
-	w := &wireWriter{}
-	w.u32(m.MaxRows)
-	return w.buf
-}
+func (m ExecuteMsg) Encode() []byte { return encode(m) }
+
+func (m ExecuteMsg) encodeTo(w *wireWriter) { w.u32(m.MaxRows) }
 
 // DecodeExecute parses a MsgExecute payload.
 func DecodeExecute(p []byte) (ExecuteMsg, error) {
@@ -466,11 +502,9 @@ type CloseMsg struct {
 }
 
 // Encode renders the close payload.
-func (m CloseMsg) Encode() []byte {
-	w := &wireWriter{}
-	w.str(m.Name)
-	return w.buf
-}
+func (m CloseMsg) Encode() []byte { return encode(m) }
+
+func (m CloseMsg) encodeTo(w *wireWriter) { w.str(m.Name) }
 
 // DecodeClose parses a MsgClose payload.
 func DecodeClose(p []byte) (CloseMsg, error) {
@@ -486,11 +520,11 @@ type ReadyMsg struct {
 }
 
 // Encode renders the ready payload.
-func (m ReadyMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m ReadyMsg) Encode() []byte { return encode(m) }
+
+func (m ReadyMsg) encodeTo(w *wireWriter) {
 	w.u64(m.SessionID)
 	w.byte(m.Status)
-	return w.buf
 }
 
 // DecodeReady parses a MsgReady payload.
@@ -506,13 +540,13 @@ type RowDescMsg struct {
 }
 
 // Encode renders the row-description payload.
-func (m RowDescMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m RowDescMsg) Encode() []byte { return encode(m) }
+
+func (m RowDescMsg) encodeTo(w *wireWriter) {
 	w.u16(uint16(len(m.Columns)))
 	for _, c := range m.Columns {
 		w.str(c)
 	}
-	return w.buf
 }
 
 // DecodeRowDesc parses a MsgRowDesc payload.
@@ -539,13 +573,13 @@ type RowMsg struct {
 }
 
 // Encode renders the row payload.
-func (m RowMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m RowMsg) Encode() []byte { return encode(m) }
+
+func (m RowMsg) encodeTo(w *wireWriter) {
 	w.u16(uint16(len(m.Values)))
 	for _, v := range m.Values {
 		appendValue(w, v)
 	}
-	return w.buf
 }
 
 // DecodeRow parses a MsgRow payload.
@@ -567,12 +601,12 @@ type CompleteMsg struct {
 }
 
 // Encode renders the complete payload.
-func (m CompleteMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m CompleteMsg) Encode() []byte { return encode(m) }
+
+func (m CompleteMsg) encodeTo(w *wireWriter) {
 	w.str(m.Tag)
 	w.u64(m.Rows)
 	w.f64(m.CostUnits)
-	return w.buf
 }
 
 // DecodeComplete parses a MsgComplete payload.
@@ -592,11 +626,11 @@ type ErrorMsg struct {
 }
 
 // Encode renders the error payload.
-func (m ErrorMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m ErrorMsg) Encode() []byte { return encode(m) }
+
+func (m ErrorMsg) encodeTo(w *wireWriter) {
 	w.str(m.Code)
 	w.str(m.Message)
-	return w.buf
 }
 
 // DecodeError parses a MsgError payload.
@@ -616,11 +650,11 @@ type NoticeMsg struct {
 }
 
 // Encode renders the notice payload.
-func (m NoticeMsg) Encode() []byte {
-	w := &wireWriter{}
+func (m NoticeMsg) Encode() []byte { return encode(m) }
+
+func (m NoticeMsg) encodeTo(w *wireWriter) {
 	w.str(m.Code)
 	w.str(m.Message)
-	return w.buf
 }
 
 // DecodeNotice parses a MsgNotice payload.

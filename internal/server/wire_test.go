@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"rqp/internal/exec"
 	"rqp/internal/types"
 )
 
@@ -257,6 +258,36 @@ func FuzzFrame(f *testing.F) {
 		w.u16(0xFFFF)
 		seed(MsgQuery, w.buf)
 	}
+	// Shuffle sub-protocol: every frame kind, then the malformed shapes its
+	// decoders must refuse — truncated route batch, bad shard id, over-cap
+	// batch count.
+	seed(MsgShardHello, shufSampleHello().Encode())
+	seed(MsgRouteBatch, shufSampleBuildBatch().Encode())
+	seed(MsgRouteBatch, shufSampleProbeBatch().Encode())
+	seed(MsgShardEOF, ShardEOFMsg{JoinID: 7, Phase: ShufPhaseProbe, Src: 2}.Encode())
+	seed(MsgShardAccept, ShardAcceptMsg{JoinID: 7, Credit: shufCreditWindow}.Encode())
+	seed(MsgShardAck, ShardAckMsg{JoinID: 7, Credit: 16}.Encode())
+	seed(MsgOutBatch, OutBatchMsg{JoinID: 7, Rows: []exec.ShufOut{{Seq: 1, BIdx: -1, Row: sampleValues()}}}.Encode())
+	seed(MsgShardDone, ShardDoneMsg{JoinID: 7, OutRows: 9, UnitsScaled: 1 << 40}.Encode())
+	seed(MsgShardErr, ShardErrMsg{JoinID: 7, Code: CodeExec, Message: "shard died"}.Encode())
+	{
+		full := shufSampleProbeBatch().Encode()
+		seed(MsgRouteBatch, full[:len(full)/2]) // truncated mid-batch
+	}
+	{
+		h := shufSampleHello()
+		h.Shard = h.Shards // bad shard id: index outside [0, Shards)
+		seed(MsgShardHello, h.Encode())
+	}
+	{
+		w := &wireWriter{}
+		w.u64(7)
+		w.byte(ShufPhaseBuild)
+		w.u16(0)
+		w.u16(shufBatchRows + 1) // over-cap batch count, no rows behind it
+		seed(MsgRouteBatch, w.buf)
+	}
+	f.Add([]byte{MsgRouteBatch, 0xFF, 0xFF, 0xFF, 0xFF}) // over-cap frame length
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
@@ -277,6 +308,22 @@ func FuzzFrame(f *testing.F) {
 		DecodeComplete(p)
 		DecodeError(p)
 		DecodeNotice(p)
+		DecodeShardHello(p)
+		DecodeShardEOF(p)
+		DecodeShardAccept(p)
+		DecodeShardAck(p)
+		DecodeShardDone(p)
+		DecodeShardErr(p)
+		if m, err := DecodeRouteBatch(p); err == nil {
+			if !bytes.Equal(m.Encode(), p) {
+				t.Fatalf("accepted RouteBatch payload is not canonical: %x", p)
+			}
+		}
+		if m, err := DecodeOutBatch(p); err == nil {
+			if !bytes.Equal(m.Encode(), p) {
+				t.Fatalf("accepted OutBatch payload is not canonical: %x", p)
+			}
+		}
 		if m, err := DecodeQuery(p); err == nil {
 			if !bytes.Equal(m.Encode(), p) {
 				t.Fatalf("accepted Query payload is not canonical: %x", p)

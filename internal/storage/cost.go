@@ -187,6 +187,20 @@ func (c *Clock) Merge(s *Clock) {
 	atomic.AddInt64(&c.rowsCPU, atomic.LoadInt64(&s.rowsCPU))
 }
 
+// MergeScaled folds externally-accumulated counters into c in the clock's
+// exact integer domain. This is how a shard worker process's clock rejoins
+// the coordinator's: the worker charges the same multiset of calls a local
+// shard goroutine would, ships its scaled totals over the wire, and the
+// merged sum stays bit-identical to serial execution — the same identity
+// Merge provides in-process, now across a process boundary.
+func (c *Clock) MergeScaled(units, seqReads, randReads, pageWrites, rowsCPU int64) {
+	atomic.AddInt64(&c.units, units)
+	atomic.AddInt64(&c.seqReads, seqReads)
+	atomic.AddInt64(&c.randReads, randReads)
+	atomic.AddInt64(&c.pageWrites, pageWrites)
+	atomic.AddInt64(&c.rowsCPU, rowsCPU)
+}
+
 // String summarizes the clock state.
 func (c *Clock) String() string {
 	s, r, w, rows := c.Counters()

@@ -183,6 +183,26 @@ func (a *Admitter) WaitSlot(timeout time.Duration) bool {
 	}
 }
 
+// AdmitWait combines the TryAdmit/WaitSlot loop into one blocking call:
+// request a slot, park FIFO when the gate is full, retry on wake, and give
+// up when the deadline passes. It reports whether a slot was taken (the
+// caller then owes a Done). Shard worker processes use this as their whole
+// per-process admission policy — each inbound exchange occupies one slot
+// for its lifetime, so a worker's MPL bounds the exchanges it juggles the
+// same way a coordinator's MPL bounds client queries.
+func (a *Admitter) AdmitWait(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if a.TryAdmit().Admitted {
+			return true
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 || !a.WaitSlot(remain) {
+			return false
+		}
+	}
+}
+
 // QueueStats reports lifetime queued waits, the current queue depth, and
 // the peak depth — the service layer's backpressure gauges.
 func (a *Admitter) QueueStats() (queued int64, depth, peak int) {

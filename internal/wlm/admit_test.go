@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestAdmitterMPLGate(t *testing.T) {
@@ -140,4 +141,41 @@ func TestMemPoolDisabled(t *testing.T) {
 		t.Fatalf("budget touched without pool: %d", q.budget)
 	}
 	a.DetachMem(q)
+}
+
+// TestAdmitWait covers the blocking admission loop shard workers run per
+// exchange: immediate success with headroom, FIFO park-and-wake when the
+// gate is full, and a clean timeout when no slot ever frees.
+func TestAdmitWait(t *testing.T) {
+	a := NewAdmitter(1)
+	if !a.AdmitWait(time.Second) {
+		t.Fatal("empty gate must admit immediately")
+	}
+
+	// Gate full: a second caller parks, then takes the slot when Done frees it.
+	got := make(chan bool, 1)
+	go func() { got <- a.AdmitWait(5 * time.Second) }()
+	for {
+		if _, depth, _ := a.QueueStats(); depth == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Done()
+	if !<-got {
+		t.Fatal("waiter not admitted after Done")
+	}
+	if _, _, active, _ := a.Stats(); active != 1 {
+		t.Fatalf("active = %d after handoff, want 1", active)
+	}
+
+	// Still full and nobody leaves: the wait must give up at the deadline.
+	start := time.Now()
+	if a.AdmitWait(30 * time.Millisecond) {
+		t.Fatal("full gate admitted past its deadline")
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("gave up after %v, before the deadline", elapsed)
+	}
+	a.Done()
 }
